@@ -1,0 +1,98 @@
+// Ablations for the design choices called out in DESIGN.md §5:
+//   A1  exact dense knapsack (Sec 4.1) vs compressible (4.2) vs bounded
+//       (4.3) inside the full dual — runtime and profit/makespan deltas;
+//   A2  heap (4.1.1) vs bucketed (4.3.3) transformation — runtime at large
+//       n and the measured makespan penalty (<= delta * d);
+//   A3  accuracy/cost: eps sweep of the full algorithm, measured ratio vs
+//       certified guarantee.
+#include <iostream>
+
+#include "src/core/bounded_sched.hpp"
+#include "src/core/compressible_sched.hpp"
+#include "src/core/estimator.hpp"
+#include "src/core/mrt.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main() {
+  using namespace moldable;
+  using core::BoundedDualOptions;
+
+  std::cout << "=== A1: knapsack engine inside one dual call (d = 1.5 omega) ===\n";
+  {
+    util::Table t({"n", "m", "dense(mrt) ms", "compressible ms", "bounded ms",
+                   "mrt span/d", "alg1 span/d", "alg3 span/d"});
+    for (std::size_t n : {128, 512, 2048}) {
+      const procs_t m = static_cast<procs_t>(8 * n);
+      const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, n, m, 7);
+      const core::EstimatorResult est = core::estimate_makespan(inst);
+      const double d = 1.5 * est.omega;
+      util::Timer t0;
+      const auto r0 = core::mrt_dual(inst, d);
+      const double ms0 = t0.millis();
+      util::Timer t1;
+      const auto r1 = core::compressible_dual(inst, d, 0.25);
+      const double ms1 = t1.millis();
+      util::Timer t2;
+      const auto r2 = core::bounded_dual(inst, d, 0.25, BoundedDualOptions{true});
+      const double ms2 = t2.millis();
+      auto span = [&](const core::DualOutcome& o) {
+        return o.accepted ? util::fmt(o.schedule.makespan() / d, 4) : std::string("rej");
+      };
+      t.add_row({std::to_string(n), std::to_string(m), util::fmt(ms0, 4),
+                 util::fmt(ms1, 4), util::fmt(ms2, 4), span(r0), span(r1), span(r2)});
+    }
+    t.print(std::cout);
+    std::cout << "take-away: the rounded engines trade a bounded makespan increase\n"
+                 "(still <= (3/2+eps) d) for asymptotically better running time.\n\n";
+  }
+
+  std::cout << "=== A2: heap vs bucketed transformation (Sec 4.1.1 vs 4.3.3) ===\n";
+  {
+    util::Table t({"n", "heap ms", "bucket ms", "heap span", "bucket span",
+                   "bucket/heap span"});
+    for (std::size_t n : {512, 2048, 8192, 32768}) {
+      const procs_t m = static_cast<procs_t>(2 * n);
+      const jobs::Instance inst =
+          jobs::make_instance(jobs::Family::kHighVariance, n, m, 11);
+      const core::EstimatorResult est = core::estimate_makespan(inst);
+      const double d = 1.6 * est.omega;
+      util::Timer th;
+      const auto rh = core::bounded_dual(inst, d, 0.25, BoundedDualOptions{false});
+      const double msh = th.millis();
+      util::Timer tb;
+      const auto rb = core::bounded_dual(inst, d, 0.25, BoundedDualOptions{true});
+      const double msb = tb.millis();
+      if (!rh.accepted || !rb.accepted) continue;
+      t.add_row({std::to_string(n), util::fmt(msh, 4), util::fmt(msb, 4),
+                 util::fmt(rh.schedule.makespan() / d, 4),
+                 util::fmt(rb.schedule.makespan() / d, 4),
+                 util::fmt(rb.schedule.makespan() / rh.schedule.makespan(), 4)});
+    }
+    t.print(std::cout);
+    std::cout << "take-away: the bucketed variant removes the n log n term; its\n"
+                 "makespan penalty stays within the delta*d slack of Sec 4.3.3.\n\n";
+  }
+
+  std::cout << "=== A3: accuracy vs cost (algorithm3-linear, n=512, m=1024) ===\n";
+  {
+    util::Table t({"eps", "time ms", "dual calls", "ratio vs lb", "guarantee"});
+    const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 512, 1024, 13);
+    for (double eps : {1.0, 0.5, 0.25, 0.1, 0.05, 0.02}) {
+      util::Timer timer;
+      const core::ScheduleResult r =
+          core::schedule_moldable(inst, eps, core::Algorithm::kBoundedLinear);
+      const double ms = timer.millis();
+      sched::validate_or_throw(r.schedule, inst);
+      t.add_row({util::fmt(eps, 3), util::fmt(ms, 4), std::to_string(r.dual_calls),
+                 util::fmt(r.ratio_vs_lower, 4), util::fmt(r.guarantee, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "take-away: cost grows polynomially in 1/eps while the measured\n"
+                 "ratio improves toward the 3/2 barrier the paper leaves open.\n";
+  }
+  return 0;
+}

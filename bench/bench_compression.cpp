@@ -1,0 +1,47 @@
+// Compression ablation (Lemma 4): measured time inflation vs the 1 + 4 rho
+// bound across oracle families and compression factors.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/core/compression.hpp"
+#include "src/jobs/generators.hpp"
+
+namespace {
+
+using namespace moldable;
+
+void BM_CompressSweep(benchmark::State& state) {
+  const double rho = 1.0 / static_cast<double>(state.range(0));
+  const jobs::Instance inst =
+      jobs::make_instance(jobs::Family::kMixed, 64, 1 << 20, 11);
+  const auto b = static_cast<procs_t>(std::ceil(1.0 / rho)) * 8;
+  double worst = 0;
+  for (auto _ : state) {
+    for (const jobs::Job& job : inst.jobs()) {
+      const core::CompressionResult r = core::compress(job, b, rho);
+      worst = std::max(worst, r.inflation);
+      benchmark::DoNotOptimize(r.new_procs);
+    }
+  }
+  state.counters["max_inflation"] = worst;
+  state.counters["lemma4_bound"] = 1 + 4 * rho;
+}
+BENCHMARK(BM_CompressSweep)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GammaBinarySearch(benchmark::State& state) {
+  // The O(log m) oracle search underlying every algorithm.
+  const procs_t m = procs_t{1} << state.range(0);
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 256, m, 13);
+  for (auto _ : state) {
+    for (const jobs::Job& job : inst.jobs()) {
+      auto g = job.gamma(job.t1() / 3);
+      benchmark::DoNotOptimize(g);
+    }
+  }
+}
+BENCHMARK(BM_GammaBinarySearch)->DenseRange(10, 40, 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// google-benchmark microbenchmarks for the Ludwig-Tiwari estimator:
+// O(n log m log(nm)) scaling in n and in log m.
+#include <benchmark/benchmark.h>
+
+#include "src/core/estimator.hpp"
+#include "src/jobs/generators.hpp"
+
+namespace {
+
+using namespace moldable;
+
+void BM_EstimatorN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, n, 1 << 16, 5);
+  for (auto _ : state) {
+    auto r = core::estimate_makespan(inst);
+    benchmark::DoNotOptimize(r.omega);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_EstimatorN)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_EstimatorLogM(benchmark::State& state) {
+  const procs_t m = procs_t{1} << state.range(0);
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 256, m, 5);
+  for (auto _ : state) {
+    auto r = core::estimate_makespan(inst);
+    benchmark::DoNotOptimize(r.omega);
+  }
+}
+BENCHMARK(BM_EstimatorLogM)->DenseRange(10, 40, 6);
+
+void BM_EstimatorFamilies(benchmark::State& state) {
+  const auto fam = static_cast<jobs::Family>(state.range(0));
+  const jobs::Instance inst = jobs::make_instance(fam, 512, 1 << 14, 5);
+  for (auto _ : state) {
+    auto r = core::estimate_makespan(inst);
+    benchmark::DoNotOptimize(r.omega);
+  }
+}
+BENCHMARK(BM_EstimatorFamilies)->DenseRange(0, 2, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Knapsack-engine ablation (Section 4.1 vs 4.2 vs 4.3): the dense O(nC) DP
+// against the compressible solver (Algorithm 2) as capacity grows — the
+// crossover the paper's complexity claims predict.
+#include <benchmark/benchmark.h>
+
+#include "src/knapsack/compressible.hpp"
+#include "src/knapsack/dense_dp.hpp"
+#include "src/knapsack/pairlist.hpp"
+#include "src/util/prng.hpp"
+
+namespace {
+
+using namespace moldable;
+using knapsack::CompressibleInput;
+using knapsack::Item;
+
+std::vector<Item> make_items(int n, procs_t cap, std::uint64_t seed) {
+  util::Prng rng(seed);
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i)
+    items.push_back({static_cast<double>(rng.uniform_int(1, cap / 2)),
+                     rng.uniform_real(0.1, 100)});
+  return items;
+}
+
+void BM_DenseDp(benchmark::State& state) {
+  const auto cap = static_cast<procs_t>(state.range(0));
+  const auto items = make_items(256, cap, 3);
+  for (auto _ : state) {
+    auto s = knapsack::solve_dense(items, cap);
+    benchmark::DoNotOptimize(s.profit);
+  }
+}
+BENCHMARK(BM_DenseDp)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+void BM_Pairlist(benchmark::State& state) {
+  const auto cap = static_cast<procs_t>(state.range(0));
+  const auto items = make_items(256, cap, 3);
+  for (auto _ : state) {
+    auto s = knapsack::solve_pairlist(items, static_cast<double>(cap));
+    benchmark::DoNotOptimize(s.profit);
+  }
+}
+BENCHMARK(BM_Pairlist)->RangeMultiplier(4)->Range(1 << 8, 1 << 16);
+
+void BM_Compressible(benchmark::State& state) {
+  const auto cap = static_cast<procs_t>(state.range(0));
+  CompressibleInput in;
+  in.items = make_items(256, cap, 3);
+  in.capacity = cap;
+  in.rho = 0.1;
+  const double wide = static_cast<double>(cap) / 16;
+  double amin = static_cast<double>(cap);
+  for (const Item& it : in.items) {
+    const bool comp = it.size >= wide;
+    in.compressible.push_back(comp ? 1 : 0);
+    if (comp) amin = std::min(amin, it.size);
+  }
+  in.alpha_min = amin;
+  in.beta_max = cap;
+  in.nbar = 32;
+  for (auto _ : state) {
+    auto s = knapsack::solve_compressible(in);
+    benchmark::DoNotOptimize(s.profit);
+  }
+}
+BENCHMARK(BM_Compressible)->RangeMultiplier(4)->Range(1 << 8, 1 << 18);
+
+void BM_MultiCapacityOnePass(benchmark::State& state) {
+  // Section 4.2.4: k capacities answered by one sweep.
+  const auto items = make_items(256, 1 << 12, 7);
+  std::vector<double> caps;
+  for (int i = 1; i <= state.range(0); ++i)
+    caps.push_back(static_cast<double>((1 << 12) * i) / static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    auto p = knapsack::profits_for_capacities(items, caps);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_MultiCapacityOnePass)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

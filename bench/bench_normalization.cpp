@@ -1,0 +1,39 @@
+// Figure 4 reproduction: the adaptive normalization interval structure of
+// Lemma 12. For geometric capacity sets A with ratio 1/(1-rho), every
+// interval [alpha_{i-1}, alpha_i) is cut into O(nbar) subintervals, giving
+// O(nbar * |A|) grid points in total, independent of the numeric capacity.
+#include <algorithm>
+#include <iostream>
+
+#include "src/knapsack/geom_grid.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace moldable;
+  using knapsack::NormalizationGrid;
+  std::cout << "=== Figure 4 / Lemma 12 reproduction: adaptive normalization ===\n\n";
+  util::Table t({"rho", "nbar", "C", "|A|", "grid", "max/interval", "bound/interval",
+                 "grid/(nbar*|A|)"});
+  for (double rho : {0.2, 0.1, 0.05}) {
+    for (procs_t nbar : {4, 16, 64}) {
+      for (double cap : {1e4, 1e7, 1e10}) {
+        const double amin = 1.0 / rho;
+        const auto A = knapsack::geom_set(amin / (1 - rho), cap, 1.0 / (1 - rho));
+        const NormalizationGrid grid(A, amin, rho, nbar);
+        std::size_t worst = 0;
+        for (std::size_t c : grid.per_interval_counts()) worst = std::max(worst, c);
+        const auto bound = static_cast<std::size_t>((1 - rho) * nbar) + 2;  // Eq. (16)
+        t.add_row({util::fmt(rho, 3), std::to_string(nbar), util::fmt(cap, 2),
+                   std::to_string(A.size()), std::to_string(grid.size()),
+                   std::to_string(worst), std::to_string(bound),
+                   util::fmt(static_cast<double>(grid.size()) /
+                                 (static_cast<double>(nbar) * A.size()), 3)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: max/interval <= bound/interval (Eq. (16)); the grid\n"
+               "size scales with nbar * |A|, not with the capacity C (last column\n"
+               "stays ~constant as C spans 6 orders of magnitude).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 1 reproduction: the NP-hardness reduction (Section 2).
+//
+// For 4-Partition yes-instances of growing size, the canonical schedule
+// loads every one of the m = n machines to exactly d = n*B with one
+// processor per job (zero idle). We regenerate that structure, verify it
+// with the schedule validator, and also run the approximation algorithms on
+// the reduced instances (their OPT is known: n*B).
+#include <functional>
+#include <iostream>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/reduction.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace moldable;
+
+// Greedy DFS partition recovery (yes-instances always admit one).
+std::vector<std::vector<std::size_t>> recover_groups(const jobs::FourPartitionInstance& fp) {
+  const std::size_t n4 = fp.numbers.size();
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<char> used(n4, 0);
+  std::function<bool()> solve = [&]() -> bool {
+    std::size_t first = n4;
+    for (std::size_t i = 0; i < n4; ++i)
+      if (!used[i]) {
+        first = i;
+        break;
+      }
+    if (first == n4) return true;
+    used[first] = 1;
+    for (std::size_t a = first + 1; a < n4; ++a) {
+      if (used[a]) continue;
+      used[a] = 1;
+      for (std::size_t b = a + 1; b < n4; ++b) {
+        if (used[b]) continue;
+        used[b] = 1;
+        for (std::size_t c = b + 1; c < n4; ++c) {
+          if (used[c] ||
+              fp.numbers[first] + fp.numbers[a] + fp.numbers[b] + fp.numbers[c] != fp.target)
+            continue;
+          used[c] = 1;
+          groups.push_back({first, a, b, c});
+          if (solve()) return true;
+          groups.pop_back();
+          used[c] = 0;
+        }
+        used[b] = 0;
+      }
+      used[a] = 0;
+    }
+    used[first] = 0;
+    return false;
+  };
+  if (!solve()) groups.clear();
+  return groups;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 1 reproduction: 4-Partition reduction schedules ===\n\n";
+  util::Table t({"n(groups)", "jobs", "d=nB", "makespan", "idle", "alg3l/OPT", "time ms"});
+  for (std::size_t n : {2, 4, 8, 12, 16, 24, 32}) {
+    util::Timer timer;
+    const jobs::FourPartitionInstance fp = jobs::make_yes_instance(n, 1000 + n);
+    const jobs::ReductionOutput red = jobs::reduce_to_scheduling(fp);
+    const auto groups = recover_groups(fp);
+    if (groups.empty()) {
+      std::cout << "partition recovery failed for n=" << n << " (unexpected)\n";
+      continue;
+    }
+    const jobs::CanonicalSchedule cs = jobs::canonical_schedule(fp, groups);
+    sched::Schedule s;
+    for (std::size_t j = 0; j < fp.numbers.size(); ++j)
+      s.add({j, cs.start_of_job[j], 1, red.instance.job(j).t1()});
+    const auto v = sched::validate(s, red.instance);
+    if (!v.ok) {
+      std::cout << "INVALID canonical schedule for n=" << n << ": " << v.errors.front()
+                << "\n";
+      return 1;
+    }
+    const double idle =
+        static_cast<double>(red.instance.machines()) * v.makespan - v.total_work;
+    // The approximation algorithm on the reduced instance (OPT = n*B).
+    const core::ScheduleResult r =
+        core::schedule_moldable(red.instance, 0.25, core::Algorithm::kBoundedLinear);
+    t.add_row({std::to_string(n), std::to_string(fp.numbers.size()),
+               util::fmt(red.target_makespan, 6), util::fmt(v.makespan, 6),
+               util::fmt(idle, 3), util::fmt(r.makespan / red.target_makespan, 4),
+               util::fmt(timer.millis(), 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: makespan == d with zero idle (the Fig. 1 structure);\n"
+               "the (3/2+eps) algorithm stays within its guarantee of the known OPT.\n";
+  return 0;
+}

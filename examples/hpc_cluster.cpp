@@ -1,0 +1,64 @@
+// HPC-cluster scenario: the compact-encoding regime the paper targets.
+//
+// A batch of 48 jobs is scheduled on a machine with m = 2^20 processors —
+// far too many for any Theta(m) algorithm, yet the FPTAS (Theorem 2)
+// handles it in milliseconds because everything it does is O(log m) per
+// oracle probe. We compare against the Ludwig-Tiwari 2-approximation and
+// the naive baselines, then push m to 2^40 to demonstrate that nothing in
+// the stack ever walks the machine range.
+#include <iostream>
+
+#include "src/core/baselines.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main() {
+  using namespace moldable;
+
+  for (const int log_m : {20, 30, 40}) {
+    const procs_t m = procs_t{1} << log_m;
+    const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 48, m, 2024);
+    std::cout << "=== cluster with m = 2^" << log_m << " processors, n = 48 jobs ===\n";
+    util::Table t({"scheduler", "makespan", "vs lower bound", "time ms"});
+
+    {
+      util::Timer timer;
+      const core::ScheduleResult r = core::schedule_moldable(inst, 0.25);
+      const double ms = timer.millis();
+      sched::validate_or_throw(r.schedule, inst);
+      t.add_row({core::algorithm_name(r.used), util::fmt(r.makespan, 5),
+                 util::fmt(r.ratio_vs_lower, 4), util::fmt(ms, 3)});
+    }
+    {
+      util::Timer timer;
+      const core::BaselineResult r = core::ludwig_tiwari_schedule(inst);
+      const double ms = timer.millis();
+      sched::validate_or_throw(r.schedule, inst);
+      t.add_row({"lt-2approx", util::fmt(r.schedule.makespan(), 5),
+                 util::fmt(r.schedule.makespan() / r.lower_bound, 4), util::fmt(ms, 3)});
+    }
+    {
+      util::Timer timer;
+      const core::BaselineResult r = core::equal_share_schedule(inst);
+      const double ms = timer.millis();
+      t.add_row({"equal-share", util::fmt(r.schedule.makespan(), 5), "-",
+                 util::fmt(ms, 3)});
+    }
+    {
+      util::Timer timer;
+      const core::BaselineResult r = core::sequential_schedule(inst);
+      const double ms = timer.millis();
+      t.add_row({"sequential", util::fmt(r.schedule.makespan(), 5), "-",
+                 util::fmt(ms, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Note: every scheduler above runs in time polynomial in log m —\n"
+               "the compact-encoding goal of the paper. A Theta(m) algorithm\n"
+               "would need terabytes of state at m = 2^40.\n";
+  return 0;
+}

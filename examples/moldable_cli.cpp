@@ -1,0 +1,170 @@
+// moldable_cli — schedule instances from files or generators.
+//
+// Usage:
+//   moldable_cli --generate <family> --n <n> --m <m> [--seed S] [options]
+//   moldable_cli --load <file.inst> [options]
+//
+// Options:
+//   --algo auto|fptas|mrt|algorithm1|algorithm3|algorithm3-linear|lt
+//   --eps <0..1>          approximation parameter (default 0.25)
+//   --save <file.inst>    write the instance (compact text format)
+//   --gantt               render an ASCII Gantt chart (small m only)
+//   --stats               print schedule statistics
+//   --certificate <d>     verify the result as an NP certificate against d
+//
+// Exit status: 0 on success (schedule valid), 1 on any failure.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/certificate.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/jobs/io.hpp"
+#include "src/sched/stats.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace moldable;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--generate <family> --n <n> --m <m> [--seed S] | --load <file>)\n"
+               "       [--algo NAME] [--eps E] [--save FILE] [--gantt] [--stats]\n"
+               "       [--certificate D]\n"
+               "families: amdahl powerlaw comm table mixed identical highvar seqonly\n";
+  return 1;
+}
+
+std::optional<jobs::Family> parse_family(const std::string& s) {
+  for (jobs::Family f : jobs::all_families())
+    if (jobs::family_name(f) == s) return f;
+  return std::nullopt;
+}
+
+std::optional<core::Algorithm> parse_algo(const std::string& s) {
+  using core::Algorithm;
+  if (s == "auto") return Algorithm::kAuto;
+  if (s == "fptas") return Algorithm::kFptas;
+  if (s == "mrt") return Algorithm::kMrt;
+  if (s == "algorithm1") return Algorithm::kCompressible;
+  if (s == "algorithm3") return Algorithm::kBounded;
+  if (s == "algorithm3-linear") return Algorithm::kBoundedLinear;
+  if (s == "lt") return Algorithm::kLudwigTiwari;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<jobs::Family> family;
+  std::size_t n = 16;
+  procs_t m = 64;
+  std::uint64_t seed = 1;
+  std::string load_path, save_path;
+  core::Algorithm algo = core::Algorithm::kAuto;
+  double eps = 0.25;
+  bool gantt = false, stats = false;
+  std::optional<double> certificate_d;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires " << what << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--generate") {
+      family = parse_family(need("a family name"));
+      if (!family) {
+        std::cerr << "unknown family\n";
+        return 1;
+      }
+    } else if (arg == "--n") {
+      n = static_cast<std::size_t>(std::stoull(need("a count")));
+    } else if (arg == "--m") {
+      m = static_cast<procs_t>(std::stoll(need("a machine count")));
+    } else if (arg == "--seed") {
+      seed = std::stoull(need("a seed"));
+    } else if (arg == "--load") {
+      load_path = need("a path");
+    } else if (arg == "--save") {
+      save_path = need("a path");
+    } else if (arg == "--algo") {
+      const auto a = parse_algo(need("an algorithm"));
+      if (!a) {
+        std::cerr << "unknown algorithm\n";
+        return 1;
+      }
+      algo = *a;
+    } else if (arg == "--eps") {
+      eps = std::stod(need("a value"));
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--certificate") {
+      certificate_d = std::stod(need("a deadline"));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (load_path.empty() && !family) return usage(argv[0]);
+
+  try {
+    const jobs::Instance inst = load_path.empty()
+                                    ? jobs::make_instance(*family, n, m, seed)
+                                    : jobs::load_instance(load_path);
+    if (!save_path.empty()) {
+      jobs::save_instance(save_path, inst);
+      std::cout << "instance written to " << save_path << "\n";
+    }
+
+    util::Timer timer;
+    const core::ScheduleResult r = core::schedule_moldable(inst, eps, algo);
+    const double ms = timer.millis();
+
+    const auto v = sched::validate(r.schedule, inst);
+    std::cout << "instance:   n = " << inst.size() << ", m = " << inst.machines()
+              << (inst.name().empty() ? "" : " (" + inst.name() + ")") << "\n"
+              << "algorithm:  " << core::algorithm_name(r.used) << " (eps = " << eps
+              << ", guarantee " << r.guarantee << "x OPT)\n"
+              << "makespan:   " << r.makespan << "\n"
+              << "lower bound " << r.lower_bound << " => ratio <= " << r.ratio_vs_lower
+              << "\n"
+              << "time:       " << util::fmt(ms, 4) << " ms, " << r.dual_calls
+              << " dual calls\n"
+              << "valid:      " << (v.ok ? "yes" : ("NO: " + v.errors.front())) << "\n";
+
+    if (stats) {
+      const sched::ScheduleStats st = sched::compute_stats(r.schedule, inst);
+      std::cout << "\nstatistics:\n"
+                << "  utilization:    " << util::fmt(st.utilization * 100, 4) << " %\n"
+                << "  idle time:      " << util::fmt(st.idle_time, 5) << "\n"
+                << "  work inflation: " << util::fmt(st.work_inflation, 4)
+                << "x of the sequential-work floor\n"
+                << "  avg allotment:  " << util::fmt(st.avg_allotment, 4) << " procs\n"
+                << "  avg efficiency: " << util::fmt(st.avg_efficiency * 100, 4) << " %\n"
+                << "  peak procs:     " << st.peak_procs << "/" << inst.machines() << "\n";
+    }
+    if (certificate_d) {
+      const jobs::Certificate cert =
+          jobs::certificate_from_schedule(inst, r.schedule);
+      const jobs::CertificateResult cr = jobs::verify_certificate(inst, cert, *certificate_d);
+      std::cout << "\ncertificate vs d = " << *certificate_d << ": "
+                << (cr.accepted ? "ACCEPTED" : "rejected") << " (list-scheduled makespan "
+                << cr.makespan << ")\n";
+    }
+    if (gantt) std::cout << "\n" << sched::render_gantt(r.schedule, inst, 72);
+    return v.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+// Quickstart: define a handful of moldable jobs, schedule them with the
+// paper's headline algorithm, and inspect the result.
+//
+//   $ ./quickstart
+//
+// Walks through the three core API layers:
+//   1. jobs::      — processing-time oracles and instances,
+//   2. core::      — schedule_moldable (auto-dispatching front-end),
+//   3. sched::     — validation and rendering.
+#include <iostream>
+#include <memory>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/instance.hpp"
+#include "src/jobs/processing_time.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace moldable;
+
+  // A tiny cluster with 8 processors and five jobs with different
+  // parallelization behaviour.
+  const procs_t m = 8;
+  std::vector<jobs::Job> jv;
+  // A render pass that parallelizes almost perfectly (Amdahl, 95%).
+  jv.emplace_back(std::make_shared<jobs::AmdahlTime>(40.0, 0.95), m, "render");
+  // A solver with diminishing returns (power law).
+  jv.emplace_back(std::make_shared<jobs::PowerLawTime>(30.0, 0.6), m, "solver");
+  // A communication-bound stencil: speedup plateaus.
+  jv.emplace_back(std::make_shared<jobs::CommOverheadTime>(24.0, 0.5), m, "stencil");
+  // A serial bottleneck task.
+  jv.emplace_back(std::make_shared<jobs::AmdahlTime>(18.0, 0.0), m, "serial");
+  // An explicitly tabulated profile measured offline.
+  jv.emplace_back(std::make_shared<jobs::TableTime>(
+                      std::vector<double>{20, 11, 8, 6.5, 5.6, 5.0, 4.6, 4.3}),
+                  m, "measured");
+  const jobs::Instance inst(std::move(jv), m, "quickstart");
+
+  // Schedule with approximation parameter eps = 0.1: the front-end picks
+  // the right algorithm for the regime (here: Algorithm 3, linear variant).
+  const core::ScheduleResult result = core::schedule_moldable(inst, 0.1);
+
+  std::cout << "algorithm:      " << core::algorithm_name(result.used) << "\n"
+            << "makespan:       " << result.makespan << "\n"
+            << "lower bound:    " << result.lower_bound << " (certified, <= OPT)\n"
+            << "ratio vs bound: " << result.ratio_vs_lower << " (guarantee "
+            << result.guarantee << " vs OPT)\n"
+            << "dual calls:     " << result.dual_calls << "\n\n";
+
+  // Per-job assignment table.
+  util::Table t({"job", "name", "start", "procs", "duration", "end"});
+  for (const auto& a : result.schedule.assignments())
+    t.add_row({std::to_string(a.job), inst.job(a.job).name(), util::fmt(a.start, 4),
+               std::to_string(a.procs), util::fmt(a.duration, 4),
+               util::fmt(a.start + a.duration, 4)});
+  t.print(std::cout);
+
+  // Paranoid validation (capacity, durations, completeness) + Gantt chart.
+  const auto v = sched::validate(result.schedule, inst);
+  std::cout << "\nvalid: " << (v.ok ? "yes" : "NO") << ", peak processors "
+            << v.peak_procs << "/" << m << "\n\n"
+            << sched::render_gantt(result.schedule, inst, 64);
+  return v.ok ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "src/core/baselines.hpp"
+
+#include <algorithm>
+
+#include "src/core/estimator.hpp"
+#include "src/sched/list_scheduler.hpp"
+
+namespace moldable::core {
+
+BaselineResult ludwig_tiwari_schedule(const jobs::Instance& instance) {
+  BaselineResult out;
+  if (instance.size() == 0) return out;
+  const EstimatorResult est = estimate_makespan(instance);
+  out.lower_bound = est.omega;
+  out.schedule = sched::list_schedule(instance, est.allotment);
+  return out;
+}
+
+BaselineResult sequential_schedule(const jobs::Instance& instance) {
+  BaselineResult out;
+  if (instance.size() == 0) return out;
+  const std::vector<procs_t> allotment(instance.size(), 1);
+  out.schedule = sched::list_schedule(instance, allotment);
+  out.lower_bound = instance.trivial_lower_bound();
+  return out;
+}
+
+BaselineResult equal_share_schedule(const jobs::Instance& instance) {
+  BaselineResult out;
+  if (instance.size() == 0) return out;
+  const procs_t share =
+      std::max<procs_t>(1, instance.machines() / static_cast<procs_t>(instance.size()));
+  const std::vector<procs_t> allotment(instance.size(), share);
+  out.schedule = sched::list_schedule(instance, allotment);
+  out.lower_bound = instance.trivial_lower_bound();
+  return out;
+}
+
+}  // namespace moldable::core

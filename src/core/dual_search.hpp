@@ -1,0 +1,39 @@
+// The dual-approximation framework of Hochbaum & Shmoys [8] (Section 3):
+// a c-dual algorithm — given deadline d it either returns a schedule of
+// makespan <= c*d or correctly reports that no schedule of makespan d
+// exists — combined with a 2-estimator yields a c(1+eps)-approximation with
+// O(log 1/eps) dual calls, by bisecting d over [omega, 2 omega].
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "src/sched/schedule.hpp"
+
+namespace moldable::core {
+
+struct DualOutcome {
+  bool accepted = false;
+  sched::Schedule schedule;  ///< valid iff accepted
+
+  static DualOutcome reject() { return {}; }
+  static DualOutcome accept(sched::Schedule s) { return {true, std::move(s)}; }
+};
+
+/// A dual algorithm: may reject only when no schedule of makespan d exists.
+using DualFn = std::function<DualOutcome(double d)>;
+
+struct DualSearchResult {
+  sched::Schedule schedule;
+  double d_accepted = 0;   ///< smallest accepted deadline (<= (1+eps) OPT)
+  double lower_bound = 0;  ///< largest value known to be <= OPT
+  int dual_calls = 0;
+};
+
+/// Bisects d in [omega, 2*omega] until the bracket is within a factor
+/// (1+eps_search). Returns the schedule of the smallest accepted d, which
+/// has makespan <= c * (1+eps_search) * OPT for a c-dual `dual`.
+/// Requires omega > 0 (use an empty schedule directly for empty instances).
+DualSearchResult dual_search(const DualFn& dual, double omega, double eps_search);
+
+}  // namespace moldable::core

@@ -1,0 +1,54 @@
+#include "src/jobs/certificate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/sched/list_scheduler.hpp"
+
+namespace moldable::jobs {
+
+CertificateResult verify_certificate(const Instance& instance, const Certificate& cert,
+                                     double d) {
+  const std::size_t n = instance.size();
+  if (cert.allotment.size() != n || cert.order.size() != n)
+    throw std::invalid_argument("verify_certificate: certificate size mismatch");
+  std::vector<char> seen(n, 0);
+  for (std::size_t j : cert.order) {
+    if (j >= n || seen[j])
+      throw std::invalid_argument("verify_certificate: order is not a permutation");
+    seen[j] = 1;
+  }
+  for (std::size_t j = 0; j < n; ++j)
+    if (cert.allotment[j] < 1 || cert.allotment[j] > instance.machines())
+      throw std::invalid_argument("verify_certificate: allotment out of range");
+
+  CertificateResult res;
+  res.schedule = sched::list_schedule(instance, cert.allotment, cert.order);
+  res.makespan = res.schedule.makespan();
+  res.accepted = leq_tol(res.makespan, d);
+  return res;
+}
+
+Certificate certificate_from_schedule(const Instance& instance,
+                                      const sched::Schedule& schedule) {
+  const std::size_t n = instance.size();
+  Certificate cert;
+  cert.allotment.assign(n, 1);
+  std::vector<double> start(n, 0);
+  for (const auto& a : schedule.assignments()) {
+    if (a.job < n) {
+      cert.allotment[a.job] = a.procs;
+      start[a.job] = a.start;
+    }
+  }
+  cert.order.resize(n);
+  std::iota(cert.order.begin(), cert.order.end(), std::size_t{0});
+  std::sort(cert.order.begin(), cert.order.end(), [&](std::size_t a, std::size_t b) {
+    if (start[a] != start[b]) return start[a] < start[b];
+    return a < b;
+  });
+  return cert;
+}
+
+}  // namespace moldable::jobs

@@ -1,0 +1,45 @@
+// The NP-membership certificate of Theorem 1's proof: an allotment (one
+// processor count per job) plus a start order. The verifier list-schedules
+// the jobs in that order with the given allotment and accepts iff the
+// resulting makespan is at most d.
+//
+// The paper's membership argument: the certificate has n(log m + log n)
+// bits and verification is polynomial — this module is that verifier, also
+// used by the reduction demos to check yes-certificates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace moldable::jobs {
+
+struct Certificate {
+  std::vector<procs_t> allotment;    ///< processor count per job
+  std::vector<std::size_t> order;    ///< start order (a permutation)
+};
+
+struct CertificateResult {
+  bool accepted = false;
+  double makespan = 0;
+  sched::Schedule schedule;  ///< the list schedule produced during checking
+};
+
+/// Verifies the certificate against target makespan d: list-schedules in
+/// the given order with the given allotment and compares. Throws
+/// std::invalid_argument for malformed certificates (sizes, permutation,
+/// allotment range).
+CertificateResult verify_certificate(const Instance& instance, const Certificate& cert,
+                                     double d);
+
+/// Extracts a certificate from any schedule (allotment + start order).
+/// Note: re-verification can only do better — list scheduling in start
+/// order never finishes later than the original schedule's makespan bound
+/// by more than the list-scheduling factor; for shelf-structured schedules
+/// (ours) it reproduces a makespan <= the original.
+Certificate certificate_from_schedule(const Instance& instance,
+                                      const sched::Schedule& schedule);
+
+}  // namespace moldable::jobs

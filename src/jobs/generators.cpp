@@ -1,0 +1,139 @@
+#include "src/jobs/generators.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/util/prng.hpp"
+
+namespace moldable::jobs {
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kAmdahl: return "amdahl";
+    case Family::kPowerLaw: return "powerlaw";
+    case Family::kCommOverhead: return "comm";
+    case Family::kTable: return "table";
+    case Family::kMixed: return "mixed";
+    case Family::kIdentical: return "identical";
+    case Family::kHighVariance: return "highvar";
+    case Family::kSequentialOnly: return "seqonly";
+    case Family::kLogSpeedup: return "logspeed";
+  }
+  return "unknown";
+}
+
+std::vector<Family> all_families() {
+  return {Family::kAmdahl,       Family::kPowerLaw,       Family::kCommOverhead,
+          Family::kTable,        Family::kMixed,          Family::kIdentical,
+          Family::kHighVariance, Family::kSequentialOnly, Family::kLogSpeedup};
+}
+
+std::vector<double> random_monotone_table(procs_t m, double t1, std::uint64_t seed) {
+  if (m < 1) throw std::invalid_argument("random_monotone_table: m must be >= 1");
+  util::Prng rng(seed);
+  std::vector<double> t(static_cast<std::size_t>(m));
+  t[0] = t1;
+  double w_prev = t1;
+  for (procs_t k = 2; k <= m; ++k) {
+    // Feasible work band (see header): w in [w_prev, w_prev * k/(k-1)].
+    // Sampling the position inside the band uniformly yields tables that
+    // range from perfectly-parallel (low end) to barely-parallel (high end).
+    const double hi = w_prev * static_cast<double>(k) / static_cast<double>(k - 1);
+    const double w = rng.uniform_real(w_prev, hi);
+    t[static_cast<std::size_t>(k - 1)] = w / static_cast<double>(k);
+    w_prev = w;
+  }
+  return t;
+}
+
+namespace {
+
+PtfPtr random_closed_form(util::Prng& rng, const GeneratorConfig& cfg, int which) {
+  const double t1 = rng.log_uniform(cfg.t1_min, cfg.t1_max);
+  switch (which) {
+    case 0:
+      return std::make_shared<AmdahlTime>(t1, rng.uniform_real(0.3, 0.999));
+    case 1:
+      return std::make_shared<PowerLawTime>(t1, rng.uniform_real(0.3, 1.0));
+    default:
+      // Plateau position ~ sqrt(t1/c); sample c so plateaus spread widely.
+      return std::make_shared<CommOverheadTime>(t1, rng.log_uniform(1e-6 * t1, 0.3 * t1));
+  }
+}
+
+}  // namespace
+
+Instance make_instance(Family family, std::size_t n, procs_t m, std::uint64_t seed,
+                       const GeneratorConfig& cfg) {
+  if (m < 1) throw std::invalid_argument("make_instance: m must be >= 1");
+  util::Prng rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+
+  auto add = [&](PtfPtr f) { jobs.emplace_back(std::move(f), m); };
+
+  switch (family) {
+    case Family::kAmdahl:
+      for (std::size_t j = 0; j < n; ++j) add(random_closed_form(rng, cfg, 0));
+      break;
+    case Family::kPowerLaw:
+      for (std::size_t j = 0; j < n; ++j) add(random_closed_form(rng, cfg, 1));
+      break;
+    case Family::kCommOverhead:
+      for (std::size_t j = 0; j < n; ++j) add(random_closed_form(rng, cfg, 2));
+      break;
+    case Family::kTable: {
+      if (m > 8192)
+        throw std::invalid_argument(
+            "make_instance: table family is Theta(m) per job; refuse m > 8192 "
+            "(use a closed-form family for large machine counts)");
+      for (std::size_t j = 0; j < n; ++j) {
+        const double t1 = rng.log_uniform(cfg.t1_min, cfg.t1_max);
+        add(std::make_shared<TableTime>(
+            random_monotone_table(m, t1, rng.next_u64())));
+      }
+      break;
+    }
+    case Family::kMixed:
+      for (std::size_t j = 0; j < n; ++j)
+        add(random_closed_form(rng, cfg, static_cast<int>(rng.uniform_int(0, 2))));
+      break;
+    case Family::kIdentical: {
+      auto f = std::make_shared<AmdahlTime>(0.5 * (cfg.t1_min + cfg.t1_max), 0.9);
+      for (std::size_t j = 0; j < n; ++j) add(f);
+      break;
+    }
+    case Family::kHighVariance: {
+      // ~10% giants at t1_max * 100, the rest tiny at t1_min. Exercises the
+      // small/big split of the MRT machinery hard: with most deadlines the
+      // tiny jobs are "small" and the giants dominate both shelves.
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool giant = rng.bernoulli(0.1);
+        const double t1 = giant ? cfg.t1_max * 100.0 : cfg.t1_min;
+        add(std::make_shared<AmdahlTime>(t1, giant ? 0.99 : 0.5));
+      }
+      break;
+    }
+    case Family::kSequentialOnly:
+      for (std::size_t j = 0; j < n; ++j) {
+        const double t1 = rng.log_uniform(cfg.t1_min, cfg.t1_max);
+        add(std::make_shared<AmdahlTime>(t1, 0.0));  // t(k) = t1 for all k
+      }
+      break;
+    case Family::kLogSpeedup:
+      for (std::size_t j = 0; j < n; ++j)
+        add(std::make_shared<LogSpeedupTime>(rng.log_uniform(cfg.t1_min, cfg.t1_max)));
+      break;
+  }
+  return Instance(std::move(jobs), m, family_name(family));
+}
+
+Instance perfect_tiling_instance(procs_t m, double t) {
+  std::vector<Job> jobs;
+  auto f = std::make_shared<AmdahlTime>(t, 0.0);  // constant time t
+  for (procs_t j = 0; j < m; ++j) jobs.emplace_back(f, m);
+  return Instance(std::move(jobs), m, "tiling");
+}
+
+}  // namespace moldable::jobs

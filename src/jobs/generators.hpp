@@ -1,0 +1,58 @@
+// Synthetic instance generators.
+//
+// The paper's evaluation model is "pure combinatorial algorithm, synthetic
+// instances" — these families span the regimes its analysis distinguishes:
+// jobs that parallelize well vs badly (wide vs narrow gamma), small vs big
+// jobs relative to a deadline, and mixes thereof. All generators are
+// deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+
+namespace moldable::jobs {
+
+enum class Family {
+  kAmdahl,        ///< Amdahl jobs, log-uniform t1, uniform parallel fraction
+  kPowerLaw,      ///< power-law speedup, alpha in [0.3, 1]
+  kCommOverhead,  ///< communication-overhead model with plateau
+  kTable,         ///< explicit random monotone tables (m capped at 8192)
+  kMixed,         ///< uniform mixture of the closed-form families
+  kIdentical,     ///< n identical Amdahl jobs (known-structure regime)
+  kHighVariance,  ///< few huge jobs + many tiny jobs (shelf stress test)
+  kSequentialOnly,///< constant t(k) = t(1): perfectly moldable-agnostic;
+                  ///< with n = m and equal times OPT is known exactly
+  kLogSpeedup     ///< t(k) = t1/(1+log2 k): pathologically poor scaling
+};
+
+/// Human-readable family name (used by benches and tables).
+std::string family_name(Family f);
+
+/// All families valid for the paper's algorithms (monotone work).
+std::vector<Family> all_families();
+
+struct GeneratorConfig {
+  double t1_min = 1.0;     ///< smallest sequential time
+  double t1_max = 1000.0;  ///< largest sequential time (log-uniform)
+};
+
+/// Makes an instance of `family` with n jobs on m machines.
+/// Table instances refuse m > 8192 (they are Theta(m) each by design);
+/// all other families accept any m >= 1.
+Instance make_instance(Family family, std::size_t n, procs_t m, std::uint64_t seed,
+                       const GeneratorConfig& cfg = {});
+
+/// Random explicit monotone table of length m: both (P1) and (P2) hold by
+/// construction. w(k) is sampled non-decreasing subject to
+/// w(k) <= w(k-1) * k / (k-1), which is exactly the (P1)+(P2) feasible band.
+std::vector<double> random_monotone_table(procs_t m, double t1, std::uint64_t seed);
+
+/// An instance with exactly known optimal makespan: n = m jobs with constant
+/// processing time `t` (t(k) = t for all k; monotone since w = k*t grows).
+/// OPT = t * ceil(n / m) for n a multiple of m... we keep n == m so OPT = t.
+Instance perfect_tiling_instance(procs_t m, double t);
+
+}  // namespace moldable::jobs

@@ -1,0 +1,44 @@
+#include "src/jobs/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldable::jobs {
+
+Instance::Instance(std::vector<Job> jobs, procs_t m, std::string name)
+    : jobs_(std::move(jobs)), m_(m), name_(std::move(name)) {
+  if (m_ < 1) throw std::invalid_argument("Instance: machine count must be >= 1");
+  for (const Job& j : jobs_)
+    if (j.machines() != m_)
+      throw std::invalid_argument("Instance: job bound to a different machine count");
+}
+
+double Instance::min_time_bound() const {
+  double b = 0;
+  for (const Job& j : jobs_) b = std::max(b, j.tmin());
+  return b;
+}
+
+double Instance::area_bound() const {
+  // Monotone work means w_j(1) = t_j(1) is the least possible work of job j
+  // over all allotments, so sum_j t_j(1) is a lower bound on the total work
+  // of any schedule, and dividing by m bounds the makespan.
+  double w = 0;
+  for (const Job& j : jobs_) w += j.t1();
+  return w / static_cast<double>(m_);
+}
+
+double Instance::trivial_lower_bound() const {
+  return std::max(min_time_bound(), area_bound());
+}
+
+std::int64_t Instance::first_non_monotone(procs_t exhaustive_limit) const {
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const MonotonyReport r = check_monotony(jobs_[j].oracle(), m_, exhaustive_limit);
+    if (!r.time_nonincreasing || !r.work_nondecreasing)
+      return static_cast<std::int64_t>(j);
+  }
+  return -1;
+}
+
+}  // namespace moldable::jobs

@@ -1,0 +1,50 @@
+// Instance: a set of moldable jobs plus the machine count m — the problem
+// input of the paper. Also provides the instance-level lower bounds that the
+// tests and the quality benchmarks measure approximation ratios against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/jobs/job.hpp"
+#include "src/util/common.hpp"
+
+namespace moldable::jobs {
+
+class Instance {
+ public:
+  Instance(std::vector<Job> jobs, procs_t m, std::string name = {});
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const Job& job(std::size_t j) const { return jobs_.at(j); }
+  std::size_t size() const { return jobs_.size(); }
+  procs_t machines() const { return m_; }
+  const std::string& name() const { return name_; }
+
+  /// max_j t_j(m): every job needs at least this long even fully parallel.
+  /// A valid makespan lower bound.
+  double min_time_bound() const;
+
+  /// (1/m) * sum_j w_j(gamma_j(t_ref)) maximized into a proper bound:
+  /// the *area* lower bound sum_j w_j(m) / m is always valid because work is
+  /// monotone, so w_j(m) >= w_j(k) is NOT true — work grows with k; the
+  /// minimal work of job j over all allotments is w_j(1) = t_j(1).
+  /// Hence sum_j t_j(1) / m is the valid area bound.
+  double area_bound() const;
+
+  /// max(min_time_bound, area_bound): cheap O(n) certified lower bound on
+  /// the optimal makespan. (The Ludwig-Tiwari estimator in core/ gives the
+  /// stronger bound omega >= this.)
+  double trivial_lower_bound() const;
+
+  /// Runs the sampled monotony validator on every job; returns the index of
+  /// the first offending job or -1 when all jobs pass.
+  std::int64_t first_non_monotone(procs_t exhaustive_limit = 2048) const;
+
+ private:
+  std::vector<Job> jobs_;
+  procs_t m_;
+  std::string name_;
+};
+
+}  // namespace moldable::jobs

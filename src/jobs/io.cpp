@@ -1,0 +1,157 @@
+#include "src/jobs/io.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldable::jobs {
+
+namespace {
+
+void fail(std::size_t line, const std::string& msg) {
+  throw std::invalid_argument("instance parse error, line " + std::to_string(line) +
+                              ": " + msg);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "moldable-instance v1\n";
+  if (!instance.name().empty()) os << "# " << instance.name() << "\n";
+  os << "machines " << instance.machines() << "\n";
+  os.precision(17);
+  for (const Job& job : instance.jobs()) {
+    const ProcessingTimeFunction& f = job.oracle();
+    os << "job ";
+    if (const auto* a = dynamic_cast<const AmdahlTime*>(&f)) {
+      os << "amdahl " << a->t1() << " " << a->parallel_fraction();
+    } else if (const auto* p = dynamic_cast<const PowerLawTime*>(&f)) {
+      os << "powerlaw " << p->t1() << " " << p->alpha();
+    } else if (const auto* c = dynamic_cast<const CommOverheadTime*>(&f)) {
+      os << "comm " << c->t1() << " " << c->comm_cost();
+    } else if (const auto* t = dynamic_cast<const TableTime*>(&f)) {
+      os << "table " << t->values().size();
+      for (double v : t->values()) os << " " << v;
+    } else if (const auto* l = dynamic_cast<const LinearReductionTime*>(&f)) {
+      os << "linred " << l->machines() << " " << l->a();
+    } else if (const auto* r = dynamic_cast<const RigidStepTime*>(&f)) {
+      os << "rigid " << r->time() << " " << r->size() << " " << r->penalty();
+    } else if (const auto* g = dynamic_cast<const LogSpeedupTime*>(&f)) {
+      os << "logspeed " << g->t1();
+    } else {
+      throw std::invalid_argument("write_instance: unknown oracle type for job '" +
+                                  job.name() + "'");
+    }
+    if (!job.name().empty()) os << " " << job.name();
+    os << "\n";
+  }
+}
+
+std::string to_text(const Instance& instance) {
+  std::ostringstream ss;
+  write_instance(ss, instance);
+  return ss.str();
+}
+
+Instance read_instance(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  auto next_meaningful = [&](std::string& out) {
+    while (std::getline(is, line)) {
+      ++lineno;
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string header;
+  if (!next_meaningful(header) || header.rfind("moldable-instance", 0) != 0)
+    fail(lineno, "expected 'moldable-instance v1' header");
+
+  std::string mline;
+  if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
+  std::istringstream ms(mline);
+  std::string kw;
+  procs_t m = 0;
+  if (!(ms >> kw >> m) || kw != "machines" || m < 1)
+    fail(lineno, "expected 'machines <m>' with m >= 1");
+
+  std::vector<Job> jv;
+  std::string jline;
+  while (next_meaningful(jline)) {
+    std::istringstream js(jline);
+    std::string job_kw, kind;
+    if (!(js >> job_kw >> kind) || job_kw != "job") fail(lineno, "expected 'job <kind> ...'");
+    PtfPtr f;
+    try {
+      if (kind == "amdahl") {
+        double t1, frac;
+        if (!(js >> t1 >> frac)) fail(lineno, "amdahl needs <t1> <fraction>");
+        f = std::make_shared<AmdahlTime>(t1, frac);
+      } else if (kind == "powerlaw") {
+        double t1, alpha;
+        if (!(js >> t1 >> alpha)) fail(lineno, "powerlaw needs <t1> <alpha>");
+        f = std::make_shared<PowerLawTime>(t1, alpha);
+      } else if (kind == "comm") {
+        double t1, c;
+        if (!(js >> t1 >> c)) fail(lineno, "comm needs <t1> <comm_cost>");
+        f = std::make_shared<CommOverheadTime>(t1, c);
+      } else if (kind == "table") {
+        std::size_t k = 0;
+        if (!(js >> k) || k == 0) fail(lineno, "table needs <k> values");
+        if (static_cast<procs_t>(k) != m)
+          fail(lineno, "table length must equal the machine count");
+        std::vector<double> values(k);
+        for (double& v : values)
+          if (!(js >> v)) fail(lineno, "table: too few values");
+        f = std::make_shared<TableTime>(std::move(values));
+      } else if (kind == "linred") {
+        std::int64_t mm, a;
+        if (!(js >> mm >> a)) fail(lineno, "linred needs <machines> <a>");
+        if (mm != m) fail(lineno, "linred machine count must equal the instance's");
+        f = std::make_shared<LinearReductionTime>(mm, a);
+      } else if (kind == "logspeed") {
+        double t1;
+        if (!(js >> t1)) fail(lineno, "logspeed needs <t1>");
+        f = std::make_shared<LogSpeedupTime>(t1);
+      } else if (kind == "rigid") {
+        double t, penalty;
+        procs_t size;
+        if (!(js >> t >> size >> penalty)) fail(lineno, "rigid needs <time> <size> <penalty>");
+        f = std::make_shared<RigidStepTime>(t, size, penalty);
+      } else {
+        fail(lineno, "unknown job kind '" + kind + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(lineno, e.what());
+    }
+    std::string name;
+    js >> name;  // optional trailing name
+    jv.emplace_back(std::move(f), m, name);
+  }
+  return Instance(std::move(jv), m);
+}
+
+Instance from_text(const std::string& text) {
+  std::istringstream ss(text);
+  return read_instance(ss);
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(os, instance);
+  if (!os) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_instance(is);
+}
+
+}  // namespace moldable::jobs

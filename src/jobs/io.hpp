@@ -1,0 +1,40 @@
+// Text serialization of instances — the "compact encoding" made concrete.
+//
+// Line-oriented format (comments start with '#'):
+//
+//   moldable-instance v1
+//   machines <m>
+//   job amdahl   <t1> <fraction>            [name]
+//   job powerlaw <t1> <alpha>               [name]
+//   job comm     <t1> <comm_cost>           [name]
+//   job table    <k> <t_1> ... <t_k>        [name]
+//   job linred   <machines> <a>             [name]
+//   job rigid    <time> <size> <penalty>    [name]
+//
+// Closed-form jobs serialize in O(1) space regardless of m — exactly the
+// encoding regime the paper's algorithms target. Table jobs are Theta(m)
+// by nature and require k == m.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/jobs/instance.hpp"
+
+namespace moldable::jobs {
+
+/// Serializes the instance. Throws std::invalid_argument for oracle types
+/// outside the catalogue above (no lossy fallback).
+std::string to_text(const Instance& instance);
+void write_instance(std::ostream& os, const Instance& instance);
+
+/// Parses the format; throws std::invalid_argument with a line-numbered
+/// message on any syntax or validation error.
+Instance from_text(const std::string& text);
+Instance read_instance(std::istream& is);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_instance(const std::string& path, const Instance& instance);
+Instance load_instance(const std::string& path);
+
+}  // namespace moldable::jobs

@@ -1,0 +1,123 @@
+#include "src/jobs/reduction.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/prng.hpp"
+
+namespace moldable::jobs {
+
+void FourPartitionInstance::validate() const {
+  if (numbers.empty() || numbers.size() % 4 != 0)
+    throw std::invalid_argument("4-Partition: number count must be a positive multiple of 4");
+  const auto n = static_cast<std::int64_t>(groups());
+  std::int64_t sum = 0;
+  for (std::int64_t a : numbers) {
+    // Strict window, as required for the "exactly four per machine" step of
+    // the reduction's correctness argument.
+    if (!(5 * a > target && 3 * a < target))
+      throw std::invalid_argument("4-Partition: numbers must lie strictly in (B/5, B/3)");
+    sum += a;
+  }
+  if (sum != n * target)
+    throw std::invalid_argument("4-Partition: numbers must sum to n * B");
+}
+
+ReductionOutput reduce_to_scheduling(const FourPartitionInstance& fp_in) {
+  FourPartitionInstance fp = fp_in;
+  fp.validate();
+  // Scale so a_i >= 2; scaling all numbers and B by the same factor
+  // preserves yes/no status. (With the strict (B/5, B/3) window, a_i >= 1,
+  // so a factor of 2 always suffices.)
+  const std::int64_t amin = *std::min_element(fp.numbers.begin(), fp.numbers.end());
+  if (amin < 2) {
+    for (auto& a : fp.numbers) a *= 2;
+    fp.target *= 2;
+  }
+  const auto m = static_cast<procs_t>(fp.groups());
+  std::vector<Job> jobs;
+  jobs.reserve(fp.numbers.size());
+  for (std::size_t i = 0; i < fp.numbers.size(); ++i) {
+    // (two-step concatenation: GCC 12's -O3 restrict checker false-positives
+    // on operator+ of a literal and a temporary std::string)
+    std::string name = std::to_string(i);
+    name.insert(0, 1, 'j');
+    jobs.emplace_back(std::make_shared<LinearReductionTime>(m, fp.numbers[i]), m,
+                      std::move(name));
+  }
+  const double d = static_cast<double>(m) * static_cast<double>(fp.target);
+  return ReductionOutput{Instance(std::move(jobs), m, "4partition"), d};
+}
+
+std::optional<std::vector<std::vector<std::size_t>>> extract_partition(
+    const FourPartitionInstance& fp, const std::vector<std::size_t>& machine_of_job) {
+  if (machine_of_job.size() != fp.numbers.size()) return std::nullopt;
+  std::vector<std::vector<std::size_t>> groups(fp.groups());
+  std::vector<std::int64_t> load(fp.groups(), 0);
+  for (std::size_t j = 0; j < machine_of_job.size(); ++j) {
+    const std::size_t g = machine_of_job[j];
+    if (g >= groups.size()) return std::nullopt;
+    groups[g].push_back(j);
+    load[g] += fp.numbers[j];
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    if (groups[g].size() != 4 || load[g] != fp.target) return std::nullopt;
+  return groups;
+}
+
+FourPartitionInstance make_yes_instance(std::size_t n, std::uint64_t seed, std::int64_t B) {
+  if (n == 0) throw std::invalid_argument("make_yes_instance: n must be >= 1");
+  if (B % 4 != 0 || B < 40)
+    throw std::invalid_argument("make_yes_instance: B must be a multiple of 4 and >= 40");
+  util::Prng rng(seed);
+  FourPartitionInstance fp;
+  fp.target = B;
+  // Each group: B/4 + delta1, B/4 - delta1, B/4 + delta2, B/4 - delta2 with
+  // deltas < B/20 so all four stay strictly inside (B/5, B/3).
+  const std::int64_t q = B / 4;
+  const std::int64_t dmax = B / 20 - 1;
+  for (std::size_t g = 0; g < n; ++g) {
+    const std::int64_t d1 = rng.uniform_int(0, std::max<std::int64_t>(0, dmax));
+    const std::int64_t d2 = rng.uniform_int(0, std::max<std::int64_t>(0, dmax));
+    fp.numbers.push_back(q + d1);
+    fp.numbers.push_back(q - d1);
+    fp.numbers.push_back(q + d2);
+    fp.numbers.push_back(q - d2);
+  }
+  // Fisher-Yates shuffle so group structure is not positional.
+  for (std::size_t i = fp.numbers.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(fp.numbers[i - 1], fp.numbers[j]);
+  }
+  fp.validate();
+  return fp;
+}
+
+CanonicalSchedule canonical_schedule(
+    const FourPartitionInstance& fp,
+    const std::vector<std::vector<std::size_t>>& groups) {
+  // Mirror the scaling applied by reduce_to_scheduling so start times match
+  // the processing times of the produced instance.
+  std::int64_t scale = 1;
+  const std::int64_t amin = *std::min_element(fp.numbers.begin(), fp.numbers.end());
+  if (amin < 2) scale = 2;
+  const auto m = static_cast<double>(fp.groups());
+
+  CanonicalSchedule cs;
+  cs.machine_of_job.assign(fp.numbers.size(), 0);
+  cs.start_of_job.assign(fp.numbers.size(), 0.0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double t = 0;
+    for (std::size_t j : groups[g]) {
+      cs.machine_of_job[j] = g;
+      cs.start_of_job[j] = t;
+      // Processing time on one processor: m * (scale * a_j) - 1 + 1 = m * a'.
+      t += m * static_cast<double>(scale * fp.numbers[j]);
+    }
+  }
+  return cs;
+}
+
+}  // namespace moldable::jobs

@@ -1,0 +1,65 @@
+// The NP-completeness reduction of Section 2 (Theorem 1, Figure 1):
+// 4-Partition -> scheduling of monotone moldable jobs.
+//
+// Given numbers A = {a_1, ..., a_{4n}} with sum n*B and B/5 < a_i < B/3, the
+// reduction creates m = n machines and a job per number with
+//     t_{j_i}(k) = m * a_i - k + 1,
+// which is strictly decreasing in k with strictly increasing work (Eq. (1)).
+// The target makespan is d = n*B: a schedule of makespan d exists iff the
+// 4-Partition instance is a yes-instance, and such a schedule allots exactly
+// one processor to every job and loads every machine to exactly d (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+
+namespace moldable::jobs {
+
+struct FourPartitionInstance {
+  std::vector<std::int64_t> numbers;  ///< 4n values, each strictly in (B/5, B/3)
+  std::int64_t target = 0;            ///< B
+
+  std::size_t groups() const { return numbers.size() / 4; }  ///< n
+
+  /// Validates size divisible by 4, sum == n*B, and the (B/5, B/3) window.
+  /// Throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+struct ReductionOutput {
+  Instance instance;       ///< m = n machines, one job per number
+  double target_makespan;  ///< d = n * B
+};
+
+/// Builds the scheduling instance of the reduction. Numbers are scaled by 2
+/// beforehand when min a_i < 2 so that Eq. (1) (strict monotony) applies, as
+/// in the paper ("we scale the numbers such that a_i >= 2").
+ReductionOutput reduce_to_scheduling(const FourPartitionInstance& fp);
+
+/// Given a one-processor-per-job assignment (job -> machine), interprets it
+/// as a 4-Partition solution: returns the groups of indices per machine if
+/// every machine receives numbers summing exactly to B (4 per machine),
+/// nullopt otherwise.
+std::optional<std::vector<std::vector<std::size_t>>> extract_partition(
+    const FourPartitionInstance& fp, const std::vector<std::size_t>& machine_of_job);
+
+/// Deterministically generates a yes-instance with n groups: each group has
+/// four numbers in (B/5, B/3) summing to exactly B (B even, defaults to
+/// 1000). Shuffled so the groups are not contiguous.
+FourPartitionInstance make_yes_instance(std::size_t n, std::uint64_t seed,
+                                        std::int64_t B = 1000);
+
+/// Builds the canonical makespan-d schedule of Fig. 1 from a known partition
+/// (groups of 4 indices): machine g runs its four jobs back to back on one
+/// processor. Returns machine_of_job and per-job start times.
+struct CanonicalSchedule {
+  std::vector<std::size_t> machine_of_job;
+  std::vector<double> start_of_job;
+};
+CanonicalSchedule canonical_schedule(const FourPartitionInstance& fp,
+                                     const std::vector<std::vector<std::size_t>>& groups);
+
+}  // namespace moldable::jobs

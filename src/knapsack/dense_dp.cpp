@@ -1,0 +1,114 @@
+#include "src/knapsack/dense_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldable::knapsack {
+
+namespace {
+
+void validate_input(const std::vector<Item>& items, procs_t capacity) {
+  if (capacity < 0) throw std::invalid_argument("knapsack: negative capacity");
+  for (const Item& it : items) {
+    if (it.size < 0) throw std::invalid_argument("knapsack: negative size");
+    if (it.profit < 0) throw std::invalid_argument("knapsack: negative profit");
+    if (it.size != static_cast<double>(static_cast<procs_t>(it.size)))
+      throw std::invalid_argument("dense knapsack: sizes must be integral");
+  }
+}
+
+procs_t isize(const Item& it) { return static_cast<procs_t>(it.size); }
+
+}  // namespace
+
+std::vector<double> dense_profit_row(const std::vector<Item>& items, procs_t capacity) {
+  validate_input(items, capacity);
+  std::vector<double> best(static_cast<std::size_t>(capacity) + 1, 0.0);
+  for (const Item& it : items) {
+    const procs_t sz = isize(it);
+    if (sz > capacity) continue;
+    if (sz == 0) {
+      for (double& b : best) b += it.profit;
+      continue;
+    }
+    for (procs_t c = capacity; c >= sz; --c) {
+      const auto uc = static_cast<std::size_t>(c);
+      best[uc] = std::max(best[uc], best[uc - static_cast<std::size_t>(sz)] + it.profit);
+    }
+  }
+  return best;
+}
+
+Solution solve_dense(const std::vector<Item>& items, procs_t capacity) {
+  validate_input(items, capacity);
+  const std::size_t n = items.size();
+  const auto cells = static_cast<unsigned long long>(n) *
+                     (static_cast<unsigned long long>(capacity) + 1);
+  if (cells > (1ULL << 35))
+    throw std::invalid_argument(
+        "solve_dense: decision matrix too large; use the pair-list or "
+        "compressible engines for large capacities");
+
+  const std::size_t words = static_cast<std::size_t>(capacity) / 64 + 1;
+  std::vector<std::vector<std::uint64_t>> take(n, std::vector<std::uint64_t>(words, 0));
+  std::vector<double> best(static_cast<std::size_t>(capacity) + 1, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Item& it = items[i];
+    const procs_t sz = isize(it);
+    if (sz > capacity) continue;
+    if (sz == 0) {
+      if (it.profit > 0) {
+        for (double& b : best) b += it.profit;
+        for (auto& w : take[i]) w = ~std::uint64_t{0};
+      }
+      continue;
+    }
+    for (procs_t c = capacity; c >= sz; --c) {
+      const auto uc = static_cast<std::size_t>(c);
+      const double cand = best[uc - static_cast<std::size_t>(sz)] + it.profit;
+      if (cand > best[uc]) {
+        best[uc] = cand;
+        take[i][uc / 64] |= (std::uint64_t{1} << (uc % 64));
+      }
+    }
+  }
+
+  Solution sol;
+  sol.profit = best[static_cast<std::size_t>(capacity)];
+  procs_t c = capacity;
+  for (std::size_t i = n; i-- > 0;) {
+    const auto uc = static_cast<std::size_t>(c);
+    if (take[i][uc / 64] >> (uc % 64) & 1) {
+      sol.chosen.push_back(i);
+      c -= isize(items[i]);
+    }
+  }
+  std::reverse(sol.chosen.begin(), sol.chosen.end());
+  return sol;
+}
+
+Solution solve_bruteforce(const std::vector<Item>& items, procs_t capacity) {
+  validate_input(items, capacity);
+  const std::size_t n = items.size();
+  if (n > 24) throw std::invalid_argument("solve_bruteforce: n too large");
+  Solution best;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    procs_t size = 0;
+    double profit = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask >> i & 1) {
+        size += isize(items[i]);
+        profit += items[i].profit;
+      }
+    if (size <= capacity && profit > best.profit) {
+      best.profit = profit;
+      best.chosen.clear();
+      for (std::size_t i = 0; i < n; ++i)
+        if (mask >> i & 1) best.chosen.push_back(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace moldable::knapsack

@@ -1,0 +1,28 @@
+// Common item/solution types for the knapsack engines.
+//
+// Sizes are real-valued: the scheduling application uses integral processor
+// counts for unrounded items but Section 4.3's rounded sizes live on a
+// geometric grid. Profits are real (saved work, Eq. (6)). The dense DP
+// additionally requires integral sizes and validates that; the pair-list
+// engines work with arbitrary non-negative sizes. No DP indexes by profit,
+// so real-valued profits are exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/common.hpp"
+
+namespace moldable::knapsack {
+
+struct Item {
+  double size = 0;     ///< non-negative
+  double profit = 0;   ///< non-negative
+};
+
+struct Solution {
+  double profit = 0;
+  std::vector<std::size_t> chosen;  ///< indices into the item vector
+};
+
+}  // namespace moldable::knapsack

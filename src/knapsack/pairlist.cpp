@@ -1,0 +1,230 @@
+#include "src/knapsack/pairlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldable::knapsack {
+
+namespace {
+
+/// Merges `base` with `base (+) item` under a capacity, pruning dominated
+/// points. Both inputs and the output are ascending in size and profit.
+std::vector<ParetoPoint> merge_step(const std::vector<ParetoPoint>& base, const Item& item,
+                                    double capacity) {
+  std::vector<ParetoPoint> out;
+  out.reserve(base.size() * 2);
+  std::size_t a = 0;  // index into base
+  std::size_t b = 0;  // index into shifted copy
+  auto shifted = [&](std::size_t i) {
+    return ParetoPoint{base[i].size + static_cast<double>(item.size),
+                       base[i].profit + item.profit};
+  };
+  auto push = [&](const ParetoPoint& p) {
+    if (p.size > capacity * (1 + kRelTol)) return;
+    if (!out.empty() && p.profit <= out.back().profit) return;  // dominated
+    if (!out.empty() && p.size == out.back().size) {
+      out.back().profit = p.profit;  // same size, better profit
+      return;
+    }
+    out.push_back(p);
+  };
+  while (a < base.size() || b < base.size()) {
+    const bool take_a = b >= base.size() ||
+                        (a < base.size() && base[a].size <= shifted(b).size);
+    if (take_a)
+      push(base[a++]);
+    else
+      push(shifted(b++));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> exact_pareto(const std::vector<Item>& items, double capacity) {
+  std::vector<ParetoPoint> list{{0.0, 0.0}};
+  for (const Item& it : items) list = merge_step(list, it, capacity);
+  return list;
+}
+
+namespace {
+
+double lookup(const std::vector<ParetoPoint>& list, double capacity) {
+  // Largest size <= capacity; lists start at (0,0) so a hit always exists
+  // for capacity >= 0.
+  double best = 0;
+  auto it = std::upper_bound(list.begin(), list.end(), capacity * (1 + kRelTol),
+                             [](double c, const ParetoPoint& p) { return c < p.size; });
+  if (it != list.begin()) best = std::prev(it)->profit;
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> profits_for_capacities(const std::vector<Item>& items,
+                                           const std::vector<double>& capacities) {
+  double maxc = 0;
+  for (double c : capacities) maxc = std::max(maxc, c);
+  const auto list = exact_pareto(items, maxc);
+  std::vector<double> out;
+  out.reserve(capacities.size());
+  for (double c : capacities) out.push_back(lookup(list, c));
+  return out;
+}
+
+namespace {
+
+/// Divide-and-conquer reconstruction: find the best split of `capacity`
+/// between the two halves from their Pareto lists, then recurse. Profit is
+/// identical to the full DP; memory stays O(list length).
+void reconstruct_rec(const std::vector<Item>& items, std::size_t lo, std::size_t hi,
+                     double capacity, std::vector<std::size_t>& chosen) {
+  if (lo >= hi || capacity < 0) return;
+  if (hi - lo == 1) {
+    const Item& it = items[lo];
+    if (static_cast<double>(it.size) <= capacity * (1 + kRelTol) && it.profit > 0)
+      chosen.push_back(lo);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::vector<Item> left(items.begin() + static_cast<std::ptrdiff_t>(lo),
+                               items.begin() + static_cast<std::ptrdiff_t>(mid));
+  const std::vector<Item> right(items.begin() + static_cast<std::ptrdiff_t>(mid),
+                                items.begin() + static_cast<std::ptrdiff_t>(hi));
+  const auto l1 = exact_pareto(left, capacity);
+  const auto l2 = exact_pareto(right, capacity);
+
+  // Two-pointer sweep: as the left size grows, the best right point can
+  // only move left. Both lists are ascending in size and profit.
+  double best = -1;
+  double best_s1 = 0, best_s2 = 0;
+  std::size_t j = l2.size();  // exclusive upper bound into l2
+  for (const ParetoPoint& p1 : l1) {
+    const double room = capacity - p1.size;
+    while (j > 0 && l2[j - 1].size > room * (1 + kRelTol)) --j;
+    if (j == 0) break;
+    const double cand = p1.profit + l2[j - 1].profit;
+    if (cand > best) {
+      best = cand;
+      best_s1 = p1.size;
+      best_s2 = l2[j - 1].size;
+    }
+  }
+  check_invariant(best >= 0, "pairlist reconstruction: no feasible split");
+  reconstruct_rec(items, lo, mid, best_s1, chosen);
+  reconstruct_rec(items, mid, hi, best_s2, chosen);
+}
+
+}  // namespace
+
+Solution solve_pairlist(const std::vector<Item>& items, double capacity) {
+  if (capacity < 0) throw std::invalid_argument("solve_pairlist: negative capacity");
+  Solution sol;
+  const auto list = exact_pareto(items, capacity);
+  sol.profit = list.back().profit;
+  reconstruct_rec(items, 0, items.size(), capacity, sol.chosen);
+  // The recursion re-derives the same optimum; double-check the arithmetic.
+  double check = 0;
+  for (std::size_t i : sol.chosen) check += items[i].profit;
+  check_invariant(check >= sol.profit * (1 - kRelTol) - kRelTol,
+                  "pairlist reconstruction lost profit");
+  sol.profit = check;
+  return sol;
+}
+
+// ------------------------------------------------------- normalized arena ---
+
+NormalizedPairList::NormalizedPairList(const std::vector<Item>& items,
+                                       const NormalizationGrid& grid,
+                                       std::size_t max_pairs) {
+  arena_.push_back({0.0, 0.0, -1, -1});  // root: empty set
+  frontier_.push_back(0);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& it = items[i];
+    // Candidate pairs: every frontier node extended by this item, with the
+    // new size snapped down to the grid (the paper's "normalized on
+    // creation"); overflowing pairs are dropped.
+    struct Cand {
+      double size, profit;
+      std::int64_t parent;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(frontier_.size());
+    for (std::int64_t idx : frontier_) {
+      const Node& nd = arena_[static_cast<std::size_t>(idx)];
+      const auto snapped = grid.normalize(nd.size + static_cast<double>(it.size));
+      if (!snapped) continue;
+      cands.push_back({*snapped, nd.profit + it.profit, idx});
+    }
+    // Both sequences ascend in size (frontier is sorted and snapping is
+    // monotone), so a linear merge with dominance pruning suffices.
+    std::vector<std::int64_t> merged;
+    merged.reserve(frontier_.size() + cands.size());
+    std::size_t a = 0, b = 0;
+    auto push = [&](double size, double profit, std::int64_t parent, std::int32_t item) {
+      if (!merged.empty()) {
+        const Node& back = arena_[static_cast<std::size_t>(merged.back())];
+        if (profit <= back.profit) return;  // dominated
+        if (size == back.size) {
+          merged.pop_back();  // same size, keep the better profit
+        }
+      }
+      if (item < 0) {
+        merged.push_back(parent);  // existing node survives unchanged
+      } else {
+        arena_.push_back({size, profit, parent, item});
+        merged.push_back(static_cast<std::int64_t>(arena_.size()) - 1);
+      }
+    };
+    while (a < frontier_.size() || b < cands.size()) {
+      const bool take_old =
+          b >= cands.size() ||
+          (a < frontier_.size() &&
+           arena_[static_cast<std::size_t>(frontier_[a])].size <= cands[b].size);
+      if (take_old) {
+        const Node& nd = arena_[static_cast<std::size_t>(frontier_[a])];
+        push(nd.size, nd.profit, frontier_[a], -1);
+        ++a;
+      } else {
+        push(cands[b].size, cands[b].profit, cands[b].parent,
+             static_cast<std::int32_t>(i));
+        ++b;
+      }
+    }
+    frontier_ = std::move(merged);
+    if (arena_.size() > max_pairs)
+      throw std::invalid_argument(
+          "NormalizedPairList: arena exceeded max_pairs; the grid is too "
+          "fine for this instance — use the exact engine instead");
+  }
+}
+
+double NormalizedPairList::profit_at(double capacity) const {
+  double best = 0;
+  for (std::int64_t idx : frontier_) {
+    const Node& nd = arena_[static_cast<std::size_t>(idx)];
+    if (nd.size > capacity * (1 + kRelTol)) break;
+    best = nd.profit;  // profits ascend along the frontier
+  }
+  return best;
+}
+
+std::vector<std::size_t> NormalizedPairList::reconstruct(double capacity) const {
+  std::int64_t best = -1;
+  for (std::int64_t idx : frontier_) {
+    const Node& nd = arena_[static_cast<std::size_t>(idx)];
+    if (nd.size > capacity * (1 + kRelTol)) break;
+    best = idx;
+  }
+  std::vector<std::size_t> chosen;
+  while (best >= 0) {
+    const Node& nd = arena_[static_cast<std::size_t>(best)];
+    if (nd.item >= 0) chosen.push_back(static_cast<std::size_t>(nd.item));
+    best = nd.parent;
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace moldable::knapsack

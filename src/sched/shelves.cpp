@@ -1,0 +1,43 @@
+#include "src/sched/shelves.hpp"
+
+namespace moldable::sched {
+
+procs_t TwoShelfSchedule::procs_s1() const {
+  procs_t p = 0;
+  for (const auto& e : s1) p += e.procs;
+  return p;
+}
+
+procs_t TwoShelfSchedule::procs_s2() const {
+  procs_t p = 0;
+  for (const auto& e : s2) p += e.procs;
+  return p;
+}
+
+double TwoShelfSchedule::work() const {
+  double w = 0;
+  for (const auto& e : s1) w += static_cast<double>(e.procs) * e.time;
+  for (const auto& e : s2) w += static_cast<double>(e.procs) * e.time;
+  return w;
+}
+
+TwoShelfSchedule build_two_shelf(const jobs::Instance& instance,
+                                 const std::vector<std::size_t>& big_jobs,
+                                 const std::vector<char>& in_shelf1, double d) {
+  TwoShelfSchedule ts;
+  ts.d = d;
+  for (std::size_t i = 0; i < big_jobs.size(); ++i) {
+    const std::size_t j = big_jobs[i];
+    const jobs::Job& job = instance.job(j);
+    const double deadline = in_shelf1[i] ? d : d / 2;
+    const auto g = job.gamma(deadline);
+    check_invariant(g.has_value(),
+                    "build_two_shelf: gamma undefined for a shelf placement");
+    ts.s1.reserve(big_jobs.size());
+    ShelfEntry e{j, *g, job.time(*g)};
+    (in_shelf1[i] ? ts.s1 : ts.s2).push_back(e);
+  }
+  return ts;
+}
+
+}  // namespace moldable::sched

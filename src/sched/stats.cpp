@@ -1,0 +1,60 @@
+#include "src/sched/stats.hpp"
+
+#include <algorithm>
+
+namespace moldable::sched {
+
+ScheduleStats compute_stats(const Schedule& schedule, const jobs::Instance& instance) {
+  ScheduleStats s;
+  s.makespan = schedule.makespan();
+  s.total_work = schedule.total_work();
+  s.peak_procs = schedule.peak_procs();
+  for (const jobs::Job& job : instance.jobs()) s.min_work += job.t1();
+
+  double alloc_sum = 0;
+  double eff_sum = 0;
+  for (const auto& a : schedule.assignments()) {
+    alloc_sum += static_cast<double>(a.procs);
+    s.max_allotment = std::max(s.max_allotment, a.procs);
+    const double w1 = instance.job(a.job).t1();
+    const double wk = static_cast<double>(a.procs) * a.duration;
+    eff_sum += wk > 0 ? w1 / wk : 1.0;
+  }
+  const double n = static_cast<double>(schedule.size());
+  s.avg_allotment = n > 0 ? alloc_sum / n : 0;
+  s.avg_efficiency = n > 0 ? eff_sum / n : 1;
+  const double area = static_cast<double>(instance.machines()) * s.makespan;
+  s.utilization = area > 0 ? s.total_work / area : 0;
+  s.idle_time = area - s.total_work;
+  s.work_inflation = s.min_work > 0 ? s.total_work / s.min_work : 1;
+  return s;
+}
+
+std::vector<ProfilePoint> busy_profile(const Schedule& schedule) {
+  struct Event {
+    double t;
+    procs_t delta;
+  };
+  std::vector<Event> ev;
+  ev.reserve(schedule.size() * 2);
+  for (const auto& a : schedule.assignments()) {
+    ev.push_back({a.start, a.procs});
+    ev.push_back({a.start + a.duration, -a.procs});
+  }
+  std::sort(ev.begin(), ev.end(), [](const Event& x, const Event& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.delta < y.delta;
+  });
+  std::vector<ProfilePoint> out;
+  procs_t busy = 0;
+  for (const auto& e : ev) {
+    busy += e.delta;
+    if (!out.empty() && out.back().time == e.t)
+      out.back().busy = busy;
+    else
+      out.push_back({e.t, busy});
+  }
+  return out;
+}
+
+}  // namespace moldable::sched

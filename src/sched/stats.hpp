@@ -1,0 +1,40 @@
+// Schedule statistics: the quantities the paper's analysis reasons about
+// (utilization against the area bound, idle profile, per-job efficiency
+// loss from parallelization) computed for arbitrary schedules. Used by the
+// quality benches, the examples, and the batch simulator.
+#pragma once
+
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace moldable::sched {
+
+struct ScheduleStats {
+  double makespan = 0;
+  double total_work = 0;        ///< sum procs * duration
+  double min_work = 0;          ///< sum of w_j(1): the monotone work floor
+  double utilization = 0;       ///< total_work / (m * makespan)
+  double idle_time = 0;         ///< m * makespan - total_work
+  double work_inflation = 0;    ///< total_work / min_work (>= 1): the price
+                                ///< paid for parallelism under monotone work
+  procs_t peak_procs = 0;
+  procs_t max_allotment = 0;
+  double avg_allotment = 0;
+  double avg_efficiency = 0;    ///< mean over jobs of w_j(1) / w_j(procs_j)
+};
+
+/// Computes statistics; requires a complete schedule for the instance
+/// (every job exactly once) — callers validate first.
+ScheduleStats compute_stats(const Schedule& schedule, const jobs::Instance& instance);
+
+/// Busy-processor step profile: (time, busy) breakpoints sorted by time,
+/// suitable for plotting utilization over time. O(n log n).
+struct ProfilePoint {
+  double time = 0;
+  procs_t busy = 0;
+};
+std::vector<ProfilePoint> busy_profile(const Schedule& schedule);
+
+}  // namespace moldable::sched

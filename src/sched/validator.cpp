@@ -1,0 +1,83 @@
+#include "src/sched/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace moldable::sched {
+
+ValidationResult validate(const Schedule& s, const jobs::Instance& instance) {
+  ValidationResult r;
+  const procs_t m = instance.machines();
+  std::vector<int> seen(instance.size(), 0);
+
+  for (const auto& a : s.assignments()) {
+    if (a.job >= instance.size()) {
+      r.fail("assignment references unknown job " + std::to_string(a.job));
+      continue;
+    }
+    seen[a.job]++;
+    if (a.procs < 1 || a.procs > m) {
+      std::ostringstream ss;
+      ss << "job " << a.job << ": allotment " << a.procs << " outside [1, " << m << "]";
+      r.fail(ss.str());
+      continue;
+    }
+    if (a.start < -kRelTol) r.fail("job " + std::to_string(a.job) + ": negative start");
+    const double expect = instance.job(a.job).time(a.procs);
+    const double tol = kRelTol * std::max(1.0, expect);
+    if (std::abs(a.duration - expect) > tol) {
+      std::ostringstream ss;
+      ss << "job " << a.job << ": stored duration " << a.duration
+         << " != t_j(" << a.procs << ") = " << expect;
+      r.fail(ss.str());
+    }
+  }
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    if (seen[j] == 0) r.fail("job " + std::to_string(j) + " is unscheduled");
+    if (seen[j] > 1) r.fail("job " + std::to_string(j) + " scheduled " +
+                            std::to_string(seen[j]) + " times");
+  }
+
+  // Capacity sweep (V4). Releases are processed before acquisitions at the
+  // same (tolerance-equal) instant so that back-to-back placement on a
+  // processor is legal.
+  struct Event {
+    double t;
+    procs_t delta;
+  };
+  std::vector<Event> ev;
+  ev.reserve(s.size() * 2);
+  for (const auto& a : s.assignments()) {
+    ev.push_back({a.start, a.procs});
+    ev.push_back({a.start + a.duration, -a.procs});
+  }
+  std::sort(ev.begin(), ev.end(), [](const Event& x, const Event& y) {
+    if (std::abs(x.t - y.t) > kRelTol * std::max({1.0, std::abs(x.t), std::abs(y.t)}))
+      return x.t < y.t;
+    return x.delta < y.delta;
+  });
+  procs_t cur = 0;
+  double worst_t = -1;
+  for (const auto& e : ev) {
+    cur += e.delta;
+    if (cur > m && worst_t < 0) worst_t = e.t;
+    r.peak_procs = std::max(r.peak_procs, cur);
+  }
+  if (worst_t >= 0) {
+    std::ostringstream ss;
+    ss << "capacity exceeded: " << r.peak_procs << " > m = " << m << " at t = " << worst_t;
+    r.fail(ss.str());
+  }
+
+  r.makespan = s.makespan();
+  r.total_work = s.total_work();
+  return r;
+}
+
+void validate_or_throw(const Schedule& s, const jobs::Instance& instance) {
+  const ValidationResult r = validate(s, instance);
+  if (!r.ok) throw internal_error("invalid schedule: " + r.errors.front());
+}
+
+}  // namespace moldable::sched

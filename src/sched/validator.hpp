@@ -1,0 +1,40 @@
+// Schedule feasibility validation.
+//
+// Checks, for a schedule against its instance:
+//   (V1) every job appears exactly once,
+//   (V2) every allotment is in [1, m],
+//   (V3) every stored duration equals t_j(procs) up to tolerance,
+//   (V4) the capacity profile never exceeds m (event sweep), and
+//   (V5) start times are non-negative.
+// Capacity feasibility (V4) is equivalent to realizability on m
+// interchangeable processors (see schedule.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+#include "src/sched/schedule.hpp"
+
+namespace moldable::sched {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+  double makespan = 0;
+  double total_work = 0;
+  procs_t peak_procs = 0;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+};
+
+ValidationResult validate(const Schedule& s, const jobs::Instance& instance);
+
+/// Convenience: validates and throws internal_error with the first message
+/// on failure. Used by tests and by algorithm postconditions.
+void validate_or_throw(const Schedule& s, const jobs::Instance& instance);
+
+}  // namespace moldable::sched

@@ -1,0 +1,83 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace moldable::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: cell count does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != 'x' && c != '%')
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      const bool right = looks_numeric(row[c]);
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+}  // namespace moldable::util

@@ -1,0 +1,41 @@
+// Minimal fixed-width text-table printer used by the benchmark harness and
+// the examples to emit the paper-style result rows (Table 1 reproductions,
+// quality tables, shelf statistics).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moldable::util {
+
+/// Accumulates rows of cells and prints them with per-column widths, e.g.
+///
+///   Table t({"algorithm", "n", "m", "ratio"});
+///   t.add_row({"mrt", "128", "1024", "1.31"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with two-space column separators; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas or quotes are
+  /// quoted); handy for piping bench output into plotting scripts.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (shared by benches).
+std::string fmt(double v, int digits = 4);
+
+}  // namespace moldable::util

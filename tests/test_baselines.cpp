@@ -1,0 +1,65 @@
+// Tests for the baseline schedulers.
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+TEST(LudwigTiwari, TwoApproxAcrossFamilies) {
+  for (Family fam : jobs::all_families()) {
+    const procs_t m = fam == Family::kTable ? 64 : 512;
+    const Instance inst = make_instance(fam, 40, m, 3);
+    const BaselineResult r = ludwig_tiwari_schedule(inst);
+    ASSERT_TRUE(sched::validate(r.schedule, inst).ok) << jobs::family_name(fam);
+    EXPECT_LE(r.schedule.makespan(), 2 * r.lower_bound * (1 + 1e-9))
+        << jobs::family_name(fam);
+    EXPECT_GE(r.schedule.makespan(), r.lower_bound * (1 - 1e-9));
+  }
+}
+
+TEST(Sequential, ValidButPossiblyPoor) {
+  const Instance inst = make_instance(Family::kPowerLaw, 20, 64, 5);
+  const BaselineResult r = sequential_schedule(inst);
+  ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+  for (const auto& a : r.schedule.assignments()) EXPECT_EQ(a.procs, 1);
+}
+
+TEST(EqualShare, SplitsMachinesEvenly) {
+  const Instance inst = make_instance(Family::kAmdahl, 8, 64, 7);
+  const BaselineResult r = equal_share_schedule(inst);
+  ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+  for (const auto& a : r.schedule.assignments()) EXPECT_EQ(a.procs, 8);
+}
+
+TEST(EqualShare, MoreJobsThanMachines) {
+  const Instance inst = make_instance(Family::kAmdahl, 50, 16, 9);
+  const BaselineResult r = equal_share_schedule(inst);
+  ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+  for (const auto& a : r.schedule.assignments()) EXPECT_EQ(a.procs, 1);
+}
+
+TEST(Baselines, EmptyInstances) {
+  const Instance inst({}, 4);
+  EXPECT_TRUE(ludwig_tiwari_schedule(inst).schedule.empty());
+  EXPECT_TRUE(sequential_schedule(inst).schedule.empty());
+  EXPECT_TRUE(equal_share_schedule(inst).schedule.empty());
+}
+
+TEST(Baselines, LtBeatsNaiveOnParallelWork) {
+  // Highly parallel jobs on many machines: LT exploits moldability, the
+  // sequential baseline cannot.
+  const Instance inst = make_instance(Family::kPowerLaw, 4, 1024, 11);
+  const double lt = ludwig_tiwari_schedule(inst).schedule.makespan();
+  const double seq = sequential_schedule(inst).schedule.makespan();
+  EXPECT_LT(lt, seq);
+}
+
+}  // namespace
+}  // namespace moldable::core

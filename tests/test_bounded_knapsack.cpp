@@ -1,0 +1,254 @@
+// Tests for the Section 4.3 rounding and container machinery: rounded
+// values live on the right grids, type counts respect the paper's bounds,
+// and container unpacking is lossless.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/jobs/generators.hpp"
+#include "src/knapsack/bounded.hpp"
+#include "src/knapsack/geom_grid.hpp"
+#include "src/knapsack/pairlist.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::knapsack {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+// Collect the big, unforced jobs of `inst` at deadline d.
+std::vector<std::size_t> unforced_big(const Instance& inst, double d) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const jobs::Job& job = inst.job(j);
+    if (job.t1() <= d / 2) continue;
+    if (!leq_tol(job.tmin(), d / 2)) continue;  // forced
+    out.push_back(j);
+  }
+  return out;
+}
+
+TEST(BoundedRounding, ParamsMatchLemma16) {
+  const auto r = BoundedRounding::make(10.0, 0.5, 1024);
+  EXPECT_NEAR((1 + 4 * r.rho) * (1 + 4 * r.rho), 1.5, 1e-12);
+  EXPECT_NEAR(r.b, 1.0 / (2 * r.rho - r.rho * r.rho), 1e-9);
+  EXPECT_THROW(BoundedRounding::make(0.0, 0.5, 16), std::invalid_argument);
+  EXPECT_THROW(BoundedRounding::make(1.0, 0.0, 16), std::invalid_argument);
+  EXPECT_THROW(BoundedRounding::make(1.0, 1.5, 16), std::invalid_argument);
+}
+
+TEST(RoundBigJob, SizeIsUnderestimateWithinFactor) {
+  const Instance inst = make_instance(Family::kPowerLaw, 40, 4096, 3);
+  const double d = 1.2 * inst.trivial_lower_bound();
+  const auto r = BoundedRounding::make(d, 0.3, inst.machines());
+  for (std::size_t j : unforced_big(inst, d)) {
+    const RoundedBigJob rb = round_big_job(inst, j, r);
+    const double g = static_cast<double>(rb.gamma_d);
+    EXPECT_LE(rb.size, g * (1 + 1e-9));
+    EXPECT_GE(rb.size * (1 + r.rho), g * (1 - 1e-9));  // loses at most 1+rho
+    EXPECT_EQ(rb.compressible, g > r.b);
+    if (g <= r.b) {
+      EXPECT_DOUBLE_EQ(rb.size, g);  // exact below the threshold
+    }
+    EXPECT_GE(rb.profit, 0.0);
+  }
+}
+
+TEST(RoundBigJob, ProfitDominatedByExactSavings) {
+  // All roundings either shrink the profit (sizes/times down) or round tiny
+  // profits up by at most (1 + delta/b); verify p(j) stays within a sane
+  // envelope of the exact v_j(d).
+  const Instance inst = make_instance(Family::kMixed, 60, 2048, 9);
+  const double d = 1.3 * inst.trivial_lower_bound();
+  const double delta = 0.25;
+  const auto r = BoundedRounding::make(d, delta, inst.machines());
+  for (std::size_t j : unforced_big(inst, d)) {
+    const RoundedBigJob rb = round_big_job(inst, j, r);
+    const jobs::Job& job = inst.job(j);
+    const double v = job.work(rb.gamma_d2) - job.work(rb.gamma_d);
+    // Envelope: p <= (1 + delta/b) max(v, delta d / 2) and p >= 0.
+    const double hi = (1 + delta / r.b) * std::max(v, delta * d / 2) + 1e-9;
+    EXPECT_LE(rb.profit, hi) << "j=" << j;
+  }
+}
+
+TEST(BoundedInstance, TypeCountRespectsPaperBound) {
+  // k_I + k_C = O(1/delta^3 log m) types; check with a generous constant.
+  for (double delta : {0.2, 0.4}) {
+    const Instance inst = make_instance(Family::kMixed, 300, 4096, 11);
+    const double d = 1.4 * inst.trivial_lower_bound();
+    const auto r = BoundedRounding::make(d, delta, inst.machines());
+    std::vector<RoundedBigJob> rounded;
+    for (std::size_t j : unforced_big(inst, d)) rounded.push_back(round_big_job(inst, j, r));
+    if (rounded.empty()) continue;
+    const BoundedInstance bk(rounded);
+    const double bound = 400.0 / (delta * delta * delta) *
+                         std::log2(static_cast<double>(inst.machines()));
+    EXPECT_LE(static_cast<double>(bk.num_types()), bound) << "delta=" << delta;
+    EXPECT_LE(bk.num_types(), rounded.size());
+  }
+}
+
+TEST(BoundedInstance, ContainersCoverEveryCount) {
+  // For a single type of c jobs, the binary containers must represent every
+  // count 0..c as a subset of multiplicities.
+  for (int c : {1, 2, 3, 7, 12, 31, 100}) {
+    std::vector<RoundedBigJob> rounded;
+    for (int i = 0; i < c; ++i) {
+      RoundedBigJob rb;
+      rb.job = static_cast<std::size_t>(i);
+      rb.gamma_d = 4;
+      rb.gamma_d2 = 8;
+      rb.size = 4;
+      rb.profit = 2.5;
+      rb.compressible = false;
+      rounded.push_back(rb);
+    }
+    const BoundedInstance bk(rounded);
+    EXPECT_EQ(bk.num_types(), 1u);
+    EXPECT_LE(bk.num_items(), 2 * static_cast<std::size_t>(std::log2(c) + 2));
+    // Subset-sum reachability of multiplicities 0..c.
+    std::set<procs_t> reach = {0};
+    for (const Item& it : bk.items()) {
+      std::set<procs_t> next = reach;
+      for (procs_t v : reach) next.insert(v + static_cast<procs_t>(it.size / 4));
+      reach = next;
+    }
+    for (procs_t k = 0; k <= c; ++k) EXPECT_TRUE(reach.count(k)) << "c=" << c << " k=" << k;
+  }
+}
+
+TEST(BoundedInstance, UnpackRoundTripsCounts) {
+  std::vector<RoundedBigJob> rounded;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 0; i < 5; ++i) {
+      RoundedBigJob rb;
+      rb.job = static_cast<std::size_t>(t * 5 + i);
+      rb.gamma_d = 2 + t;
+      rb.gamma_d2 = 4;
+      rb.size = 2 + t;
+      rb.profit = 1.0 + t;
+      rounded.push_back(rb);
+    }
+  const BoundedInstance bk(rounded);
+  EXPECT_EQ(bk.num_types(), 3u);
+  // Choose all containers: unpack must return all 15 distinct jobs.
+  std::vector<std::size_t> all(bk.num_items());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto jobs = bk.unpack(all);
+  EXPECT_EQ(jobs.size(), 15u);
+  EXPECT_EQ(std::set<std::size_t>(jobs.begin(), jobs.end()).size(), 15u);
+  // Choosing nothing unpacks nothing.
+  EXPECT_TRUE(bk.unpack({}).empty());
+}
+
+TEST(BoundedInstance, ContainerProfitsScaleWithMultiplicity) {
+  std::vector<RoundedBigJob> rounded;
+  for (int i = 0; i < 7; ++i) {
+    RoundedBigJob rb;
+    rb.job = static_cast<std::size_t>(i);
+    rb.gamma_d = 3;
+    rb.gamma_d2 = 6;
+    rb.size = 3;
+    rb.profit = 2.0;
+    rounded.push_back(rb);
+  }
+  const BoundedInstance bk(rounded);
+  double total_mult = 0;
+  for (std::size_t i = 0; i < bk.num_items(); ++i) {
+    const double mult = bk.items()[i].size / 3.0;
+    EXPECT_NEAR(bk.items()[i].profit, 2.0 * mult, 1e-9);
+    total_mult += mult;
+  }
+  EXPECT_NEAR(total_mult, 7.0, 1e-9);
+}
+
+TEST(BoundedInstance, MinCompressibleSize) {
+  std::vector<RoundedBigJob> rounded(2);
+  rounded[0] = {0, 100, 200, 96.0, 1.0, true};
+  rounded[1] = {1, 5, 9, 5.0, 1.0, false};
+  const BoundedInstance bk(rounded);
+  EXPECT_DOUBLE_EQ(bk.min_compressible_size(), 96.0);
+  std::vector<RoundedBigJob> none(1);
+  none[0] = {0, 5, 9, 5.0, 1.0, false};
+  EXPECT_DOUBLE_EQ(BoundedInstance(none).min_compressible_size(), 0.0);
+}
+
+}  // namespace
+}  // namespace moldable::knapsack
+
+namespace moldable::knapsack {
+namespace {
+
+TEST(BoundedInstance, ContainerExpansionPreservesOptimum) {
+  // Solving the container 0/1 instance exactly must equal solving the fully
+  // expanded per-job 0/1 instance exactly: binary containers represent
+  // every per-type count without loss.
+  util::Prng rng(515);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<RoundedBigJob> rounded;
+    std::vector<Item> expanded;
+    std::size_t job_id = 0;
+    const int types = static_cast<int>(rng.uniform_int(1, 4));
+    for (int t = 0; t < types; ++t) {
+      const double size = static_cast<double>(rng.uniform_int(1, 9));
+      const double profit = rng.uniform_real(0.5, 5.0);
+      const auto count = rng.uniform_int(1, 9);
+      for (std::int64_t c = 0; c < count; ++c) {
+        RoundedBigJob rb;
+        rb.job = job_id++;
+        rb.gamma_d = static_cast<procs_t>(size);
+        rb.gamma_d2 = static_cast<procs_t>(size) * 2;
+        rb.size = size;
+        rb.profit = profit;
+        rounded.push_back(rb);
+        expanded.push_back({size, profit});
+      }
+    }
+    const BoundedInstance bk(rounded);
+    const double cap = static_cast<double>(rng.uniform_int(5, 40));
+    const double via_containers = solve_pairlist(bk.items(), cap).profit;
+    const double via_expansion = solve_pairlist(expanded, cap).profit;
+    EXPECT_NEAR(via_containers, via_expansion, 1e-9) << "rep=" << rep;
+  }
+}
+
+TEST(BoundedInstance, UnpackedSelectionMatchesContainerTotals) {
+  util::Prng rng(616);
+  std::vector<RoundedBigJob> rounded;
+  for (int i = 0; i < 20; ++i) {
+    RoundedBigJob rb;
+    rb.job = static_cast<std::size_t>(i);
+    rb.gamma_d = 1 + i % 3;
+    rb.gamma_d2 = 4;
+    rb.size = static_cast<double>(1 + i % 3);
+    rb.profit = static_cast<double>(1 + i % 3) * 0.5;
+    rounded.push_back(rb);
+  }
+  const BoundedInstance bk(rounded);
+  // Select a random subset of containers; unpacked jobs must reproduce the
+  // exact total size and profit of the selection.
+  std::vector<std::size_t> chosen;
+  double size_sum = 0, profit_sum = 0;
+  for (std::size_t i = 0; i < bk.num_items(); ++i)
+    if (rng.bernoulli(0.5)) {
+      chosen.push_back(i);
+      size_sum += bk.items()[i].size;
+      profit_sum += bk.items()[i].profit;
+    }
+  const auto jobs = bk.unpack(chosen);
+  double js = 0, jp = 0;
+  for (std::size_t j : jobs) {
+    js += rounded[j].size;       // all members of a type share the size
+    jp += rounded[j].profit;
+  }
+  EXPECT_NEAR(js, size_sum, 1e-9);
+  EXPECT_NEAR(jp, profit_sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace moldable::knapsack

@@ -1,0 +1,66 @@
+// Tests for the NP-membership certificate verifier (Theorem 1's membership
+// argument) and certificate extraction from schedules.
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/certificate.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/jobs/reduction.hpp"
+
+namespace moldable::jobs {
+namespace {
+
+TEST(Certificate, AcceptsAchievableDeadline) {
+  const Instance inst = make_instance(Family::kAmdahl, 8, 16, 3);
+  Certificate cert;
+  cert.allotment.assign(8, 2);
+  cert.order = {0, 1, 2, 3, 4, 5, 6, 7};
+  const CertificateResult loose = verify_certificate(inst, cert, 1e12);
+  EXPECT_TRUE(loose.accepted);
+  const CertificateResult tight = verify_certificate(inst, cert, loose.makespan);
+  EXPECT_TRUE(tight.accepted);  // boundary inclusive
+  const CertificateResult fail = verify_certificate(inst, cert, loose.makespan * 0.9);
+  EXPECT_FALSE(fail.accepted);
+}
+
+TEST(Certificate, ValidatesShape) {
+  const Instance inst = make_instance(Family::kAmdahl, 3, 8, 1);
+  Certificate cert;
+  cert.allotment = {1, 1};  // wrong size
+  cert.order = {0, 1, 2};
+  EXPECT_THROW(verify_certificate(inst, cert, 10), std::invalid_argument);
+  cert.allotment = {1, 1, 9};  // out of range
+  EXPECT_THROW(verify_certificate(inst, cert, 10), std::invalid_argument);
+  cert.allotment = {1, 1, 1};
+  cert.order = {0, 0, 2};  // not a permutation
+  EXPECT_THROW(verify_certificate(inst, cert, 10), std::invalid_argument);
+}
+
+TEST(Certificate, RoundTripFromSchedulerOutput) {
+  // Extract a certificate from an approximate schedule; re-verification via
+  // list scheduling must stay within the same deadline the schedule proves.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance inst = make_instance(Family::kMixed, 24, 96, seed);
+    const core::ScheduleResult r = core::schedule_moldable(inst, 0.25);
+    const Certificate cert = certificate_from_schedule(inst, r.schedule);
+    const CertificateResult cr = verify_certificate(inst, cert, r.makespan);
+    EXPECT_TRUE(cr.accepted) << "seed=" << seed << ": list scheduling in start order "
+                             << "finished at " << cr.makespan << " > " << r.makespan;
+  }
+}
+
+TEST(Certificate, ReductionYesInstanceCertificate) {
+  // The canonical Figure 1 schedule is a poly-size certificate for the
+  // reduced instance at d = n*B — exactly Theorem 1's NP membership.
+  const FourPartitionInstance fp = make_yes_instance(3, 11);
+  const ReductionOutput red = reduce_to_scheduling(fp);
+  const core::ScheduleResult r = core::schedule_moldable(red.instance, 0.2);
+  // The approximation may exceed d, but its certificate still verifies
+  // against its own makespan.
+  const Certificate cert = certificate_from_schedule(red.instance, r.schedule);
+  const CertificateResult cr = verify_certificate(red.instance, cert, r.makespan);
+  EXPECT_TRUE(cr.accepted);
+}
+
+}  // namespace
+}  // namespace moldable::jobs

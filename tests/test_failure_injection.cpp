@@ -1,0 +1,131 @@
+// Failure-injection tests: what happens when the paper's preconditions are
+// violated. The library's contract: violations are either rejected at
+// construction (tables), detected by the samplers (check_monotony /
+// Instance::first_non_monotone), or surface as moldable::internal_error
+// from an invariant check — never as silent wrong answers or crashes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/compression.hpp"
+#include "src/core/estimator.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable {
+namespace {
+
+using jobs::Instance;
+using jobs::Job;
+
+/// Work-violating oracle: time shrinks as 1/k^4 (wildly super-linear
+/// speedup), so w(k) = t1/k^3 strictly decreases — the exact opposite of
+/// (P2). The steep exponent also makes Lemma 4's conclusion false: giving
+/// up rho = 1/8 of the processors inflates the time by (1/(1-rho))^4 =
+/// 1.71 > 1.5 = 1 + 4 rho.
+class SuperLinearTime final : public jobs::ProcessingTimeFunction {
+ public:
+  explicit SuperLinearTime(double t1) : t1_(t1) {}
+  double at(procs_t k) const override {
+    const double kd = static_cast<double>(k);
+    return t1_ / (kd * kd * kd * kd);
+  }
+
+ private:
+  double t1_;
+};
+
+TEST(FailureInjection, MonotonySamplerFlagsSuperLinearSpeedup) {
+  const SuperLinearTime f(100.0);
+  const jobs::MonotonyReport r = jobs::check_monotony(f, 64, 64);
+  EXPECT_TRUE(r.time_nonincreasing);
+  EXPECT_FALSE(r.work_nondecreasing);
+}
+
+TEST(FailureInjection, InstanceDetectorReportsOffendingJob) {
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<jobs::AmdahlTime>(10.0, 0.5), 32);
+  jv.emplace_back(std::make_shared<SuperLinearTime>(50.0), 32);
+  const Instance inst(std::move(jv), 32);
+  EXPECT_EQ(inst.first_non_monotone(), 1);
+}
+
+TEST(FailureInjection, CompressionThrowsOnWorkViolation) {
+  // Lemma 4's conclusion fails for non-monotone work; compress() must
+  // report that as internal_error rather than return a wrong bound.
+  const Job job(std::make_shared<SuperLinearTime>(1000.0), 1 << 12);
+  EXPECT_THROW(core::compress(job, 64, 0.125), internal_error);
+}
+
+TEST(FailureInjection, AlgorithmsNeverProduceInvalidSchedules) {
+  // Even on (P2)-violating input, any schedule the algorithms *do* return
+  // must pass the validator; throwing internal_error is the other allowed
+  // outcome. (gamma only needs (P1), which SuperLinearTime satisfies, so
+  // most code paths still work — the work-based bounds may fire.)
+  std::vector<Job> jv;
+  for (int i = 0; i < 8; ++i)
+    jv.emplace_back(std::make_shared<SuperLinearTime>(100.0 + 10 * i), 64);
+  const Instance inst(std::move(jv), 64);
+  for (core::Algorithm a : {core::Algorithm::kMrt, core::Algorithm::kBoundedLinear,
+                            core::Algorithm::kLudwigTiwari}) {
+    try {
+      const core::ScheduleResult r = core::schedule_moldable(inst, 0.25, a);
+      const auto v = sched::validate(r.schedule, inst);
+      EXPECT_TRUE(v.ok) << core::algorithm_name(a) << ": "
+                        << (v.errors.empty() ? "" : v.errors.front());
+    } catch (const internal_error&) {
+      SUCCEED();  // detected precondition violation: acceptable outcome
+    }
+  }
+}
+
+TEST(FailureInjection, RigidStepInstancesHandledOrRejected) {
+  // The introduction's parallel-job reduction yields (P1)-true,
+  // (P2)-false step oracles.
+  std::vector<Job> jv;
+  for (int i = 0; i < 6; ++i)
+    jv.emplace_back(std::make_shared<jobs::RigidStepTime>(5.0 + i, 1 + i % 4, 1e5), 16);
+  const Instance inst(std::move(jv), 16);
+  EXPECT_NE(inst.first_non_monotone(), -1);
+  try {
+    const core::ScheduleResult r = core::schedule_moldable(inst, 0.5);
+    EXPECT_TRUE(sched::validate(r.schedule, inst).ok);
+  } catch (const internal_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FailureInjection, EstimatorRequiresP1Only) {
+  // The estimator's gamma searches rely only on non-increasing times, so it
+  // must behave on rigid steps (monotone times, non-monotone work): result
+  // is still a valid lower bound of the rigid optimum.
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<jobs::RigidStepTime>(4.0, 4, 1e5), 8);
+  jv.emplace_back(std::make_shared<jobs::RigidStepTime>(6.0, 2, 1e5), 8);
+  const Instance inst(std::move(jv), 8);
+  const core::EstimatorResult est = core::estimate_makespan(inst);
+  EXPECT_GT(est.omega, 0);
+  // Any feasible rigid schedule: both at their sizes, in parallel.
+  EXPECT_LE(est.omega, 10.0 + 1e-9);
+}
+
+TEST(FailureInjection, ValidatorCatchesHandCraftedCorruption) {
+  const Instance inst = jobs::make_instance(jobs::Family::kAmdahl, 5, 8, 1);
+  const core::ScheduleResult r = core::schedule_moldable(inst, 0.25);
+  // Corrupt one assignment in every possible way and confirm detection.
+  const auto& base = r.schedule.assignments();
+  for (std::size_t victim = 0; victim < base.size(); ++victim) {
+    sched::Schedule corrupted;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      auto a = base[i];
+      if (i == victim) a.duration *= 0.5;  // lies about its runtime
+      corrupted.add(a);
+    }
+    EXPECT_FALSE(sched::validate(corrupted, inst).ok) << "victim=" << victim;
+  }
+}
+
+}  // namespace
+}  // namespace moldable

@@ -1,0 +1,112 @@
+// Cross-module integration tests: all algorithms on shared instances,
+// ratio comparisons, and end-to-end runs on the paper's special instances.
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.hpp"
+#include "src/core/exact.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/jobs/reduction.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+std::vector<Algorithm> three_half_algos() {
+  return {Algorithm::kMrt, Algorithm::kCompressible, Algorithm::kBounded,
+          Algorithm::kBoundedLinear};
+}
+
+TEST(Integration, AllAlgorithmsShareLowerBoundEnvelope) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Instance inst = make_instance(Family::kMixed, 36, 384, seed);
+    double best = 1e18, worst = 0, lb = 0;
+    for (Algorithm a : three_half_algos()) {
+      const ScheduleResult r = schedule_moldable(inst, 0.2, a);
+      ASSERT_TRUE(sched::validate(r.schedule, inst).ok) << algorithm_name(a);
+      best = std::min(best, r.makespan);
+      worst = std::max(worst, r.makespan);
+      lb = std::max(lb, r.lower_bound);
+    }
+    // Everyone within (1.5+eps)*OPT: spread bounded by that factor band.
+    EXPECT_LE(worst, (1.5 + 0.2) * 2 * lb * (1 + 1e-9));
+    EXPECT_GE(best, lb * (1 - 1e-9));
+  }
+}
+
+TEST(Integration, RatiosAgainstExactOnTinyInstances) {
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance inst = make_instance(Family::kTable, 5, 6, seed + 200);
+    const auto exact = solve_exact(inst);
+    if (!exact) continue;
+    ++checked;
+    for (Algorithm a : three_half_algos()) {
+      const ScheduleResult r = schedule_moldable(inst, 0.1, a);
+      EXPECT_LE(r.makespan, 1.6 * exact->makespan * (1 + 1e-9))
+          << algorithm_name(a) << " seed=" << seed;
+      EXPECT_GE(r.makespan, exact->makespan * (1 - 1e-9));
+    }
+    const ScheduleResult lt = schedule_moldable(inst, 0.1, Algorithm::kLudwigTiwari);
+    EXPECT_LE(lt.makespan, 2 * exact->makespan * (1 + 1e-9));
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Integration, ReductionInstancesEndToEnd) {
+  // Figure 1 instances: OPT = n*B; every algorithm stays within guarantee
+  // and the validator certifies all schedules.
+  for (std::size_t n : {3u, 6u}) {
+    const jobs::FourPartitionInstance fp = jobs::make_yes_instance(n, n * 31);
+    const jobs::ReductionOutput red = jobs::reduce_to_scheduling(fp);
+    for (Algorithm a : three_half_algos()) {
+      const ScheduleResult r = schedule_moldable(red.instance, 0.25, a);
+      ASSERT_TRUE(sched::validate(r.schedule, red.instance).ok) << algorithm_name(a);
+      EXPECT_LE(r.makespan, 1.75 * red.target_makespan * (1 + 1e-9)) << algorithm_name(a);
+      EXPECT_GE(r.makespan, red.target_makespan * (1 - 1e-9));
+    }
+  }
+}
+
+TEST(Integration, FptasBeatsThreeHalvesInItsRegime) {
+  // Above the threshold, the FPTAS guarantee (1+eps) is stronger than
+  // (3/2+eps); its makespan must not exceed the others by design envelope.
+  const Instance inst = make_instance(Family::kPowerLaw, 8, 1 << 15, 5);
+  const ScheduleResult fp = schedule_moldable(inst, 0.25, Algorithm::kFptas);
+  const ScheduleResult a3 = schedule_moldable(inst, 0.25, Algorithm::kBoundedLinear);
+  ASSERT_TRUE(sched::validate(fp.schedule, inst).ok);
+  ASSERT_TRUE(sched::validate(a3.schedule, inst).ok);
+  const double lb = std::max(fp.lower_bound, a3.lower_bound);
+  EXPECT_LE(fp.makespan, 1.25 * 2 * lb * (1 + 1e-9));
+}
+
+TEST(Integration, StressManyJobsFewMachines) {
+  const Instance inst = make_instance(Family::kHighVariance, 300, 64, 3);
+  const ScheduleResult r = schedule_moldable(inst, 0.3, Algorithm::kBoundedLinear);
+  const auto v = sched::validate(r.schedule, inst);
+  ASSERT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors.front());
+  EXPECT_LE(r.makespan, 1.8 * 2 * r.lower_bound * (1 + 1e-9));
+}
+
+TEST(Integration, StressFewJobsManyMachines) {
+  const Instance inst = make_instance(Family::kPowerLaw, 4, procs_t{1} << 30, 3);
+  const ScheduleResult r = schedule_moldable(inst, 0.5);  // auto: FPTAS
+  EXPECT_EQ(r.used, Algorithm::kFptas);
+  ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+}
+
+TEST(Integration, MoldabilityBeatsSequentialSubstantially) {
+  // The intro's motivation: on parallelizable workloads the moldable
+  // schedulers exploit width that a sequential scheduler cannot.
+  const Instance inst = make_instance(Family::kPowerLaw, 8, 2048, 13);
+  const double seq = sequential_schedule(inst).schedule.makespan();
+  const ScheduleResult r = schedule_moldable(inst, 0.25);
+  EXPECT_LT(r.makespan, seq);
+}
+
+}  // namespace
+}  // namespace moldable::core

@@ -1,0 +1,117 @@
+// Tests for instance serialization: round trips, error handling, and the
+// compact-encoding property (closed-form jobs serialize in O(1) space).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/jobs/generators.hpp"
+#include "src/jobs/io.hpp"
+#include "src/jobs/reduction.hpp"
+
+namespace moldable::jobs {
+namespace {
+
+void expect_equivalent(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.machines(), b.machines());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.job(j).t1(), b.job(j).t1());
+    EXPECT_DOUBLE_EQ(a.job(j).tmin(), b.job(j).tmin());
+    for (procs_t k = 1; k <= std::min<procs_t>(a.machines(), 64); k += 7)
+      EXPECT_DOUBLE_EQ(a.job(j).time(k), b.job(j).time(k)) << "j=" << j << " k=" << k;
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<Family> {};
+
+TEST_P(RoundTrip, TextRoundTripPreservesOracles) {
+  const Family fam = GetParam();
+  const procs_t m = fam == Family::kTable ? 48 : 1 << 16;
+  const Instance inst = make_instance(fam, 12, m, 7);
+  const Instance back = from_text(to_text(inst));
+  expect_equivalent(inst, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RoundTrip,
+                         ::testing::Values(Family::kAmdahl, Family::kPowerLaw,
+                                           Family::kCommOverhead, Family::kTable,
+                                           Family::kMixed),
+                         [](const auto& info) { return family_name(info.param); });
+
+TEST(Io, ReductionInstanceRoundTrips) {
+  const auto fp = make_yes_instance(3, 5);
+  const auto red = reduce_to_scheduling(fp);
+  expect_equivalent(red.instance, from_text(to_text(red.instance)));
+}
+
+TEST(Io, ClosedFormSerializationIsCompact) {
+  // m = 2^40 but the text stays tiny: that is the point of the encoding.
+  const Instance inst = make_instance(Family::kAmdahl, 4, procs_t{1} << 40, 3);
+  const std::string text = to_text(inst);
+  EXPECT_LT(text.size(), 1000u);
+  expect_equivalent(inst, from_text(text));
+}
+
+TEST(Io, NamesSurviveRoundTrip) {
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<AmdahlTime>(10.0, 0.5), 8, "alpha");
+  jv.emplace_back(std::make_shared<PowerLawTime>(5.0, 0.7), 8, "beta");
+  const Instance inst(std::move(jv), 8);
+  const Instance back = from_text(to_text(inst));
+  EXPECT_EQ(back.job(0).name(), "alpha");
+  EXPECT_EQ(back.job(1).name(), "beta");
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "moldable-instance v1\n"
+      "# a comment\n"
+      "\n"
+      "machines 4\n"
+      "  # indented comment\n"
+      "job amdahl 10 0.5 j0\n";
+  const Instance inst = from_text(text);
+  EXPECT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst.machines(), 4);
+}
+
+TEST(Io, ParseErrorsAreDescriptive) {
+  EXPECT_THROW(from_text("nonsense"), std::invalid_argument);
+  EXPECT_THROW(from_text("moldable-instance v1\nmachines 0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("moldable-instance v1\nmachines 4\njob bogus 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text("moldable-instance v1\nmachines 4\njob amdahl 10\n"),
+               std::invalid_argument);
+  // Table length mismatch with machines.
+  EXPECT_THROW(from_text("moldable-instance v1\nmachines 4\njob table 2 5 4\n"),
+               std::invalid_argument);
+  // Invalid oracle parameters bubble up with line info.
+  try {
+    from_text("moldable-instance v1\nmachines 4\njob amdahl -1 0.5\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const Instance inst = make_instance(Family::kMixed, 6, 128, 11);
+  const std::string path = "/tmp/moldable_io_test.inst";
+  save_instance(path, inst);
+  const Instance back = load_instance(path);
+  expect_equivalent(inst, back);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_instance("/nonexistent/dir/x.inst"), std::runtime_error);
+}
+
+TEST(Io, RigidJobsRoundTrip) {
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<RigidStepTime>(3.0, 2, 1e6), 8, "rigid0");
+  const Instance inst(std::move(jv), 8);
+  const Instance back = from_text(to_text(inst));
+  EXPECT_DOUBLE_EQ(back.job(0).time(1), 1e6);
+  EXPECT_DOUBLE_EQ(back.job(0).time(2), 3.0);
+}
+
+}  // namespace
+}  // namespace moldable::jobs

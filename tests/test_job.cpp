@@ -1,0 +1,123 @@
+// Tests for Job: gamma (canonical allotment) correctness against brute
+// force, caching, and the companion search used by the estimator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/jobs/generators.hpp"
+#include "src/jobs/job.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::jobs {
+namespace {
+
+Job amdahl_job(double t1, double f, procs_t m) {
+  return Job(std::make_shared<AmdahlTime>(t1, f), m);
+}
+
+TEST(Job, CachesEndpoints) {
+  const Job j = amdahl_job(100.0, 0.8, 64);
+  EXPECT_DOUBLE_EQ(j.t1(), 100.0);
+  EXPECT_DOUBLE_EQ(j.tmin(), j.time(64));
+  EXPECT_EQ(j.machines(), 64);
+}
+
+TEST(Job, ValidatesConstructionAndRange) {
+  EXPECT_THROW(Job(nullptr, 4), std::invalid_argument);
+  EXPECT_THROW(Job(std::make_shared<AmdahlTime>(1.0, 0.5), 0), std::invalid_argument);
+  const Job j = amdahl_job(10.0, 0.5, 8);
+  EXPECT_THROW(j.time(0), std::invalid_argument);
+  EXPECT_THROW(j.time(9), std::invalid_argument);
+}
+
+TEST(Job, WorkIsMonotoneForAmdahl) {
+  const Job j = amdahl_job(10.0, 0.9, 128);
+  for (procs_t k = 1; k < 128; ++k) EXPECT_LE(j.work(k), j.work(k + 1) + 1e-9);
+}
+
+// Brute-force gamma for validation.
+std::optional<procs_t> gamma_brute(const Job& j, double t) {
+  for (procs_t k = 1; k <= j.machines(); ++k)
+    if (leq_tol(j.time(k), t)) return k;
+  return std::nullopt;
+}
+
+TEST(Job, GammaMatchesBruteForceOnTables) {
+  util::Prng rng(99);
+  for (int rep = 0; rep < 30; ++rep) {
+    const procs_t m = rng.uniform_int(1, 80);
+    const auto table = random_monotone_table(m, rng.log_uniform(1, 100), rng.next_u64());
+    const Job j(std::make_shared<TableTime>(table), m);
+    for (int q = 0; q < 40; ++q) {
+      // Thresholds spanning below-tmin to above-t1.
+      const double t = rng.uniform_real(0.5 * j.tmin(), 1.2 * j.t1());
+      EXPECT_EQ(j.gamma(t), gamma_brute(j, t)) << "m=" << m << " t=" << t;
+    }
+    // Exact hits on table values must return that index (first achieving).
+    for (procs_t k = 1; k <= m; ++k) {
+      const auto g = j.gamma(j.time(k));
+      ASSERT_TRUE(g.has_value());
+      EXPECT_LE(*g, k);
+      EXPECT_TRUE(leq_tol(j.time(*g), j.time(k)));
+    }
+  }
+}
+
+TEST(Job, GammaUndefinedBelowFastestTime) {
+  const Job j = amdahl_job(100.0, 0.5, 16);
+  EXPECT_FALSE(j.gamma(j.tmin() * 0.5).has_value());
+  EXPECT_EQ(j.gamma(j.tmin()), 16);  // exactly achievable only on all m
+}
+
+TEST(Job, GammaOneWhenSequentialSuffices) {
+  const Job j = amdahl_job(10.0, 0.9, 1024);
+  EXPECT_EQ(j.gamma(10.0), 1);
+  EXPECT_EQ(j.gamma(1e9), 1);
+}
+
+TEST(Job, GammaHugeMachineCount) {
+  // Closed-form oracle with m = 2^40: gamma must stay O(log m) probes and
+  // return sensible values (this would OOM with any Theta(m) approach).
+  const Job j = amdahl_job(1000.0, 0.999, procs_t{1} << 40);
+  const auto g = j.gamma(2.0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(leq_tol(j.time(*g), 2.0));
+  if (*g > 1) {
+    EXPECT_GT(j.time(*g - 1), 2.0);
+  }
+}
+
+TEST(Job, LastAtLeastMatchesBruteForce) {
+  util::Prng rng(123);
+  for (int rep = 0; rep < 20; ++rep) {
+    const procs_t m = rng.uniform_int(1, 60);
+    const auto table = random_monotone_table(m, rng.log_uniform(1, 50), rng.next_u64());
+    const Job j(std::make_shared<TableTime>(table), m);
+    for (int q = 0; q < 30; ++q) {
+      const double t = rng.uniform_real(0.5 * j.tmin(), 1.5 * j.t1());
+      procs_t expect = 0;
+      for (procs_t k = 1; k <= m; ++k)
+        if (j.time(k) >= t) expect = k;
+      EXPECT_EQ(j.last_at_least(t), expect);
+    }
+  }
+}
+
+TEST(Job, GammaAndLastAtLeastConsistency) {
+  const Job j = amdahl_job(64.0, 0.75, 256);
+  for (double t : {1.0, 17.0, 20.0, 40.0, 64.0, 100.0}) {
+    const auto g = j.gamma(t);
+    const procs_t l = j.last_at_least(t);
+    if (g && *g > 1) {
+      // Everything below gamma is strictly slower than t.
+      EXPECT_GT(j.time(*g - 1), t * (1 - 1e-9));
+    }
+    if (l >= 1 && l < j.machines()) {
+      EXPECT_LT(j.time(l + 1), t * (1 + 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moldable::jobs

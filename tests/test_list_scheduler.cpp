@@ -1,0 +1,113 @@
+// Tests for Graham-style list scheduling of rigid allotments, including the
+// property the paper relies on in Section 3: makespan <= 2 max(A, T).
+#include <gtest/gtest.h>
+
+#include "src/jobs/generators.hpp"
+#include "src/sched/list_scheduler.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::sched {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+TEST(ListScheduler, SequentialJobsPackPerfectly) {
+  const Instance inst = jobs::perfect_tiling_instance(8, 2.0);  // 8 jobs, m=8
+  const std::vector<procs_t> ones(inst.size(), 1);
+  const Schedule s = list_schedule(inst, ones);
+  EXPECT_TRUE(validate(s, inst).ok);
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);  // all run in parallel
+}
+
+TEST(ListScheduler, SerializesWideJobs) {
+  // Three jobs, each demanding all m processors: strictly sequential.
+  const Instance inst = make_instance(Family::kIdentical, 3, 4, 9);
+  const std::vector<procs_t> wide(inst.size(), 4);
+  const Schedule s = list_schedule(inst, wide);
+  EXPECT_TRUE(validate(s, inst).ok);
+  double expect = 0;
+  for (const auto& j : inst.jobs()) expect += j.time(4);
+  EXPECT_NEAR(s.makespan(), expect, 1e-9);
+}
+
+TEST(ListScheduler, RespectsOrderForFirstStart) {
+  const Instance inst = make_instance(Family::kAmdahl, 3, 2, 10);
+  const std::vector<procs_t> alloc = {2, 2, 2};
+  const std::vector<std::size_t> order = {2, 0, 1};
+  const Schedule s = list_schedule(inst, alloc, order);
+  // Job 2 must start first (at time 0).
+  for (const auto& a : s.assignments())
+    if (a.job == 2) {
+      EXPECT_DOUBLE_EQ(a.start, 0.0);
+    }
+}
+
+TEST(ListScheduler, ValidatesInputs) {
+  const Instance inst = make_instance(Family::kAmdahl, 3, 4, 11);
+  EXPECT_THROW(list_schedule(inst, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(inst, {1, 1, 5}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(inst, {1, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(inst, {1, 1, 1}, {0, 1}), std::invalid_argument);
+}
+
+// Property test: C <= 2 * max(A, T) across families, sizes and allotments.
+struct LsCase {
+  Family family;
+  std::size_t n;
+  procs_t m;
+};
+
+class ListBoundTest : public ::testing::TestWithParam<LsCase> {};
+
+TEST_P(ListBoundTest, GareyGrahamFactorTwo) {
+  const auto [family, n, m] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance inst = make_instance(family, n, m, seed);
+    util::Prng rng(seed * 77 + 1);
+    std::vector<procs_t> alloc(n);
+    for (auto& a : alloc) a = rng.uniform_int(1, m);
+    const Schedule s = list_schedule(inst, alloc);
+    ASSERT_TRUE(validate(s, inst).ok);
+
+    double work = 0, tmax = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      work += inst.job(j).work(alloc[j]);
+      tmax = std::max(tmax, inst.job(j).time(alloc[j]));
+    }
+    const double bound = 2 * std::max(work / static_cast<double>(m), tmax);
+    EXPECT_LE(s.makespan(), bound * (1 + 1e-9))
+        << jobs::family_name(family) << " n=" << n << " m=" << m << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListBoundTest,
+    ::testing::Values(LsCase{Family::kAmdahl, 20, 16}, LsCase{Family::kPowerLaw, 40, 8},
+                      LsCase{Family::kCommOverhead, 30, 32},
+                      LsCase{Family::kHighVariance, 50, 16},
+                      LsCase{Family::kMixed, 25, 64}, LsCase{Family::kIdentical, 12, 4},
+                      LsCase{Family::kSequentialOnly, 60, 16}),
+    [](const auto& info) {
+      return jobs::family_name(info.param.family) + "_n" +
+             std::to_string(info.param.n) + "_m" + std::to_string(info.param.m);
+    });
+
+TEST(ListScheduler, NeverIdlesWhileAJobFits) {
+  // Structural property: at any start event, the started job fits; between
+  // consecutive events with waiting jobs, no waiting job fits. We verify
+  // the weaker observable: capacity is valid and all jobs scheduled.
+  const Instance inst = make_instance(Family::kMixed, 64, 32, 5);
+  util::Prng rng(6);
+  std::vector<procs_t> alloc(inst.size());
+  for (auto& a : alloc) a = rng.uniform_int(1, 32);
+  const Schedule s = list_schedule(inst, alloc);
+  const auto v = validate(s, inst);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(s.size(), inst.size());
+}
+
+}  // namespace
+}  // namespace moldable::sched

@@ -1,0 +1,108 @@
+// Metamorphic properties: relations that must hold between runs on
+// transformed instances.
+//
+//   (M1) time scaling: multiplying every t_j(k) by c > 0 scales omega, the
+//        lower bounds, and every algorithm's makespan by exactly c;
+//   (M2) job permutation: shuffling job order never changes the makespan
+//        of the deterministic algorithms;
+//   (M3) machine monotonicity: omega is non-increasing in m;
+//   (M4) instance union: omega(I1 ∪ I2) >= max(omega(I1), omega(I2)) on
+//        the same machine count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/estimator.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::Job;
+using jobs::make_instance;
+
+Instance scale_instance(const Instance& inst, double c) {
+  std::vector<Job> jv;
+  for (const Job& j : inst.jobs())
+    jv.emplace_back(std::make_shared<jobs::ScaledTime>(
+                        jobs::PtfPtr(&j.oracle(), [](auto*) {}), c),
+                    inst.machines());
+  // The aliasing shared_ptr borrows the oracle owned by `inst`; keep `inst`
+  // alive while using the scaled copy (these tests do).
+  return Instance(std::move(jv), inst.machines());
+}
+
+TEST(Metamorphic, TimeScalingScalesEverything) {
+  const Instance inst = make_instance(Family::kMixed, 24, 128, 3);
+  for (double c : {0.01, 3.0, 1e4}) {
+    const Instance scaled = scale_instance(inst, c);
+    const EstimatorResult a = estimate_makespan(inst);
+    const EstimatorResult b = estimate_makespan(scaled);
+    EXPECT_NEAR(b.omega, c * a.omega, 1e-9 * b.omega);
+    for (Algorithm algo : {Algorithm::kMrt, Algorithm::kBoundedLinear}) {
+      const ScheduleResult ra = schedule_moldable(inst, 0.25, algo);
+      const ScheduleResult rb = schedule_moldable(scaled, 0.25, algo);
+      EXPECT_NEAR(rb.makespan, c * ra.makespan, 1e-6 * rb.makespan)
+          << algorithm_name(algo) << " c=" << c;
+    }
+  }
+}
+
+TEST(Metamorphic, JobPermutationInvariance) {
+  const Instance inst = make_instance(Family::kMixed, 20, 96, 7);
+  std::vector<Job> shuffled(inst.jobs());
+  util::Prng rng(99);
+  for (std::size_t i = shuffled.size(); i > 1; --i)
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  const Instance perm(std::move(shuffled), inst.machines());
+  for (Algorithm algo : {Algorithm::kMrt, Algorithm::kCompressible,
+                         Algorithm::kBounded, Algorithm::kBoundedLinear}) {
+    const double a = schedule_moldable(inst, 0.2, algo).makespan;
+    const double b = schedule_moldable(perm, 0.2, algo).makespan;
+    EXPECT_NEAR(a, b, 1e-9 * std::max(a, b)) << algorithm_name(algo);
+  }
+}
+
+TEST(Metamorphic, OmegaNonIncreasingInMachines) {
+  // More machines can only help: build the same jobs on growing m.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    double prev = 1e300;
+    for (procs_t m : {4, 8, 16, 32, 64, 128}) {
+      const Instance inst = make_instance(Family::kAmdahl, 16, m, seed);
+      // Same seed => same t1/fraction parameters independent of m.
+      const double omega = estimate_makespan(inst).omega;
+      EXPECT_LE(omega, prev * (1 + 1e-9)) << "m=" << m << " seed=" << seed;
+      prev = omega;
+    }
+  }
+}
+
+TEST(Metamorphic, UnionDominatesParts) {
+  const Instance a = make_instance(Family::kPowerLaw, 10, 64, 1);
+  const Instance b = make_instance(Family::kCommOverhead, 10, 64, 2);
+  std::vector<Job> both(a.jobs());
+  for (const Job& j : b.jobs()) both.push_back(j);
+  const Instance u(std::move(both), 64);
+  const double oa = estimate_makespan(a).omega;
+  const double ob = estimate_makespan(b).omega;
+  const double ou = estimate_makespan(u).omega;
+  EXPECT_GE(ou, std::max(oa, ob) * (1 - 1e-9));
+}
+
+TEST(Metamorphic, AddingAJobNeverShrinksMakespanBound) {
+  const Instance base = make_instance(Family::kMixed, 12, 64, 5);
+  std::vector<Job> more(base.jobs());
+  more.emplace_back(std::make_shared<jobs::AmdahlTime>(50.0, 0.5), 64);
+  const Instance bigger(std::move(more), 64);
+  EXPECT_GE(estimate_makespan(bigger).omega,
+            estimate_makespan(base).omega * (1 - 1e-9));
+}
+
+}  // namespace
+}  // namespace moldable::core

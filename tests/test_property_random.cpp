@@ -1,0 +1,153 @@
+// Randomized property suite: the library's end-to-end invariants under a
+// wide sweep of random monotone instances (table oracles, so every value is
+// an arbitrary monotone function, not a smooth closed form).
+//
+// Properties, for every algorithm A and instance I:
+//   (Q1) A(I) is a valid schedule (validator);
+//   (Q2) omega <= makespan(A(I)) and makespan <= guarantee * 2 * omega;
+//   (Q3) dual monotonicity: if the dual accepts d, it accepts d' >= d
+//        (sampled), and the accepted makespan scales with c * d;
+//   (Q4) determinism: two runs agree bit-for-bit on the makespan;
+//   (Q5) cross-algorithm sanity: no algorithm undercuts the certified
+//        lower bound of any other.
+#include <gtest/gtest.h>
+
+#include "src/core/bounded_sched.hpp"
+#include "src/core/compressible_sched.hpp"
+#include "src/core/estimator.hpp"
+#include "src/core/mrt.hpp"
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+class RandomInstanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceSweep, AllInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  util::Prng rng(seed * 1337 + 17);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 60));
+  const procs_t m = rng.uniform_int(1, 96);
+  const Instance inst = make_instance(Family::kTable, n, m, seed);
+  const double eps = rng.uniform_real(0.05, 1.0);
+
+  const EstimatorResult est = estimate_makespan(inst);
+  double best_lb = est.omega;
+
+  for (Algorithm a : {Algorithm::kMrt, Algorithm::kCompressible, Algorithm::kBounded,
+                      Algorithm::kBoundedLinear, Algorithm::kLudwigTiwari}) {
+    const ScheduleResult r = schedule_moldable(inst, eps, a);
+    // (Q1)
+    const auto v = sched::validate(r.schedule, inst);
+    ASSERT_TRUE(v.ok) << algorithm_name(a) << " seed=" << seed << ": "
+                      << (v.errors.empty() ? "" : v.errors.front());
+    // (Q2)
+    EXPECT_GE(r.makespan, est.omega * (1 - 1e-9)) << algorithm_name(a);
+    EXPECT_LE(r.makespan, r.guarantee * 2 * est.omega * (1 + 1e-9))
+        << algorithm_name(a) << " seed=" << seed << " eps=" << eps;
+    best_lb = std::max(best_lb, r.lower_bound);
+    // (Q4)
+    const ScheduleResult r2 = schedule_moldable(inst, eps, a);
+    EXPECT_DOUBLE_EQ(r.makespan, r2.makespan) << algorithm_name(a);
+  }
+
+  // (Q5): the sharpest certified lower bound binds every algorithm.
+  for (Algorithm a : {Algorithm::kMrt, Algorithm::kBoundedLinear}) {
+    const ScheduleResult r = schedule_moldable(inst, eps, a);
+    EXPECT_GE(r.makespan, best_lb * (1 - 1e-9)) << algorithm_name(a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSweep, ::testing::Range<std::uint64_t>(0, 48));
+
+class DualMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualMonotonicity, AcceptanceIsUpwardClosed) {
+  const std::uint64_t seed = GetParam();
+  const Instance inst = make_instance(Family::kTable, 20, 48, seed + 1000);
+  const EstimatorResult est = estimate_makespan(inst);
+  const double eps = 0.25;
+
+  auto duals = {std::function<DualOutcome(double)>(
+                    [&](double d) { return mrt_dual(inst, d); }),
+                std::function<DualOutcome(double)>(
+                    [&](double d) { return compressible_dual(inst, d, eps); }),
+                std::function<DualOutcome(double)>(
+                    [&](double d) { return bounded_dual(inst, d, eps, {true}); })};
+  for (const auto& dual : duals) {
+    // Find the acceptance frontier by scanning downward from 2*omega.
+    double smallest_accept = 2 * est.omega;
+    bool seen_reject_above_accept = false;
+    for (double f = 2.0; f >= 0.5; f -= 0.1) {
+      const double d = f * est.omega;
+      const DualOutcome out = dual(d);
+      if (out.accepted) {
+        smallest_accept = d;
+      } else if (d > smallest_accept * (1 + 1e-12)) {
+        seen_reject_above_accept = true;  // would contradict soundness...
+      }
+      if (out.accepted) {
+        // c-dual contract: accepted schedules respect c*d.
+        EXPECT_LE(out.schedule.makespan(), (1.5 + eps) * d * (1 + 1e-9)) << "d=" << d;
+      }
+    }
+    // Note: dual algorithms are not *required* to be upward-closed (only
+    // sound), but these implementations are on accepting instances: a
+    // violation indicates numerical trouble worth investigating.
+    EXPECT_FALSE(seen_reject_above_accept) << "seed=" << seed;
+    // Rejection below OPT is mandatory: d far below omega must reject.
+    EXPECT_FALSE(dual(0.4 * est.omega).accepted) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualMonotonicity, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(PropertyEdgeCases, SingleMachineInstances) {
+  // m = 1: every job is sequential; all algorithms must produce the exact
+  // optimum sum of t1 (any order, no idle).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance inst = make_instance(Family::kTable, 7, 1, seed);
+    double opt = 0;
+    for (const jobs::Job& j : inst.jobs()) opt += j.t1();
+    for (Algorithm a : {Algorithm::kMrt, Algorithm::kBoundedLinear,
+                        Algorithm::kLudwigTiwari}) {
+      const ScheduleResult r = schedule_moldable(inst, 0.25, a);
+      ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+      EXPECT_NEAR(r.makespan, opt, 1e-9 * opt) << algorithm_name(a) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PropertyEdgeCases, OneJobManyMachines) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance inst = make_instance(Family::kTable, 1, 64, seed);
+    double opt = 1e18;
+    for (procs_t k = 1; k <= 64; ++k) opt = std::min(opt, inst.job(0).time(k));
+    for (Algorithm a : {Algorithm::kMrt, Algorithm::kBounded}) {
+      const ScheduleResult r = schedule_moldable(inst, 0.1, a);
+      EXPECT_LE(r.makespan, 1.6 * opt * (1 + 1e-9)) << algorithm_name(a);
+    }
+  }
+}
+
+TEST(PropertyEdgeCases, EqualJobsTightPacking) {
+  // n = m identical sequential-ish jobs: OPT = t1; guarantee must hold
+  // against the *known* optimum, not just omega.
+  const Instance inst = jobs::perfect_tiling_instance(24, 7.0);
+  for (Algorithm a : {Algorithm::kMrt, Algorithm::kCompressible, Algorithm::kBounded,
+                      Algorithm::kBoundedLinear}) {
+    const ScheduleResult r = schedule_moldable(inst, 0.1, a);
+    ASSERT_TRUE(sched::validate(r.schedule, inst).ok);
+    EXPECT_LE(r.makespan, 1.6 * 7.0 * (1 + 1e-9)) << algorithm_name(a);
+  }
+}
+
+}  // namespace
+}  // namespace moldable::core

@@ -1,0 +1,145 @@
+// Tests for the Theorem 1 reduction (Section 2, Figure 1): instance
+// construction, strict monotony, and the yes-instance <-> schedule mapping.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/jobs/reduction.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::jobs {
+namespace {
+
+TEST(FourPartition, ValidateAcceptsYesInstance) {
+  const FourPartitionInstance fp = make_yes_instance(5, 42);
+  EXPECT_NO_THROW(fp.validate());
+  EXPECT_EQ(fp.groups(), 5u);
+  EXPECT_EQ(fp.numbers.size(), 20u);
+}
+
+TEST(FourPartition, ValidateRejectsMalformed) {
+  FourPartitionInstance fp;
+  fp.target = 100;
+  fp.numbers = {26, 25, 25};  // not a multiple of 4
+  EXPECT_THROW(fp.validate(), std::invalid_argument);
+  fp.numbers = {26, 25, 25, 10};  // 10 <= B/5: outside the window
+  EXPECT_THROW(fp.validate(), std::invalid_argument);
+  fp.numbers = {26, 25, 25, 25};  // sums to 101 != 100
+  EXPECT_THROW(fp.validate(), std::invalid_argument);
+}
+
+TEST(FourPartition, GeneratorWindowAndSum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FourPartitionInstance fp = make_yes_instance(8, seed, 2000);
+    std::int64_t sum = 0;
+    for (auto a : fp.numbers) {
+      EXPECT_GT(5 * a, fp.target);
+      EXPECT_LT(3 * a, fp.target);
+      sum += a;
+    }
+    EXPECT_EQ(sum, static_cast<std::int64_t>(fp.groups()) * fp.target);
+  }
+}
+
+TEST(Reduction, InstanceShapeAndTarget) {
+  const FourPartitionInstance fp = make_yes_instance(6, 7);
+  const ReductionOutput out = reduce_to_scheduling(fp);
+  EXPECT_EQ(out.instance.size(), 24u);
+  EXPECT_EQ(out.instance.machines(), 6);
+  // d = n * B (after any scaling, consistent with the produced jobs).
+  EXPECT_GT(out.target_makespan, 0);
+  // All jobs strictly monotone (checked exhaustively for m = n small).
+  EXPECT_EQ(out.instance.first_non_monotone(), -1);
+}
+
+TEST(Reduction, SequentialTimeEqualsMTimesNumber) {
+  const FourPartitionInstance fp = make_yes_instance(4, 3);
+  const ReductionOutput out = reduce_to_scheduling(fp);
+  // t_j(1) = m * a_j (after scaling, a_j >= 2 already for B >= 40).
+  const double m = static_cast<double>(out.instance.machines());
+  for (std::size_t j = 0; j < fp.numbers.size(); ++j)
+    EXPECT_DOUBLE_EQ(out.instance.job(j).t1(), m * static_cast<double>(fp.numbers[j]));
+}
+
+TEST(Reduction, CanonicalScheduleAchievesTargetMakespan) {
+  // Figure 1: from a known partition, every machine is loaded to exactly
+  // d = n*B with one processor per job and zero idle time.
+  const FourPartitionInstance fp = make_yes_instance(5, 99);
+  const ReductionOutput out = reduce_to_scheduling(fp);
+
+  // Recover a partition by DFS: repeatedly take the lowest unused number
+  // and search for three partners completing a group of sum B. The
+  // yes-instance generator guarantees one exists.
+  const std::size_t n4 = fp.numbers.size();
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<char> used(n4, 0);
+  std::function<bool()> solve = [&]() -> bool {
+    std::size_t first = n4;
+    for (std::size_t i = 0; i < n4; ++i)
+      if (!used[i]) {
+        first = i;
+        break;
+      }
+    if (first == n4) return true;  // everything grouped
+    used[first] = 1;
+    for (std::size_t a = first + 1; a < n4; ++a) {
+      if (used[a]) continue;
+      used[a] = 1;
+      for (std::size_t b = a + 1; b < n4; ++b) {
+        if (used[b]) continue;
+        used[b] = 1;
+        for (std::size_t c = b + 1; c < n4; ++c) {
+          if (used[c]) continue;
+          if (fp.numbers[first] + fp.numbers[a] + fp.numbers[b] + fp.numbers[c] !=
+              fp.target)
+            continue;
+          used[c] = 1;
+          groups.push_back({first, a, b, c});
+          if (solve()) return true;
+          groups.pop_back();
+          used[c] = 0;
+        }
+        used[b] = 0;
+      }
+      used[a] = 0;
+    }
+    used[first] = 0;
+    return false;
+  };
+  ASSERT_TRUE(solve()) << "yes-instance must admit a partition";
+
+  const CanonicalSchedule cs = canonical_schedule(fp, groups);
+  // Convert into a Schedule and validate against the reduced instance.
+  sched::Schedule s;
+  for (std::size_t j = 0; j < n4; ++j)
+    s.add({j, cs.start_of_job[j], 1, out.instance.job(j).t1()});
+  const auto v = sched::validate(s, out.instance);
+  EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors.front());
+  EXPECT_NEAR(v.makespan, out.target_makespan, 1e-6);
+  // Zero idle: total work == m * d.
+  EXPECT_NEAR(v.total_work,
+              static_cast<double>(out.instance.machines()) * out.target_makespan, 1e-6);
+
+  // And extract_partition round-trips.
+  const auto part = extract_partition(fp, cs.machine_of_job);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->size(), fp.groups());
+}
+
+TEST(Reduction, ExtractPartitionRejectsBadAssignments) {
+  const FourPartitionInstance fp = make_yes_instance(3, 1);
+  // All jobs on machine 0: group sizes wrong.
+  std::vector<std::size_t> all_zero(fp.numbers.size(), 0);
+  EXPECT_FALSE(extract_partition(fp, all_zero).has_value());
+  // Wrong length.
+  EXPECT_FALSE(extract_partition(fp, {0, 1}).has_value());
+}
+
+TEST(Reduction, GeneratorValidatesArguments) {
+  EXPECT_THROW(make_yes_instance(0, 1), std::invalid_argument);
+  EXPECT_THROW(make_yes_instance(2, 1, 39), std::invalid_argument);
+  EXPECT_THROW(make_yes_instance(2, 1, 41), std::invalid_argument);  // not mult of 4
+}
+
+}  // namespace
+}  // namespace moldable::jobs

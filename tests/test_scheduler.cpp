@@ -1,0 +1,138 @@
+// Tests for the unified front-end: dispatch logic and end-to-end guarantees
+// across algorithms, families, sizes and eps (the big parameterized sweep).
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+TEST(Scheduler, AutoDispatchesToFptasAboveThreshold) {
+  const Instance inst = make_instance(Family::kAmdahl, 8, 1 << 16, 3);
+  const ScheduleResult r = schedule_moldable(inst, 0.5);
+  EXPECT_EQ(r.used, Algorithm::kFptas);
+  EXPECT_DOUBLE_EQ(r.guarantee, 1.5);
+}
+
+TEST(Scheduler, AutoDispatchesToBoundedBelowThreshold) {
+  const Instance inst = make_instance(Family::kAmdahl, 64, 128, 3);
+  const ScheduleResult r = schedule_moldable(inst, 0.25);
+  EXPECT_EQ(r.used, Algorithm::kBoundedLinear);
+}
+
+TEST(Scheduler, EmptyInstance) {
+  const ScheduleResult r = schedule_moldable(Instance({}, 4), 0.5);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_DOUBLE_EQ(r.makespan, 0);
+}
+
+TEST(Scheduler, ValidatesEps) {
+  const Instance inst = make_instance(Family::kAmdahl, 2, 8, 1);
+  EXPECT_THROW(schedule_moldable(inst, 0.0), std::invalid_argument);
+  EXPECT_THROW(schedule_moldable(inst, 1.0001), std::invalid_argument);
+}
+
+TEST(Scheduler, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::kFptas), "fptas");
+  EXPECT_EQ(algorithm_name(Algorithm::kMrt), "mrt");
+  EXPECT_EQ(algorithm_name(Algorithm::kBoundedLinear), "algorithm3-linear");
+}
+
+struct SweepCase {
+  Algorithm algo;
+  Family family;
+  std::size_t n;
+  procs_t m;
+  double eps;
+};
+
+class SchedulerSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchedulerSweep, ValidAndWithinCertifiedBound) {
+  const auto p = GetParam();
+  const Instance inst = make_instance(p.family, p.n, p.m, 1234);
+  const ScheduleResult r = schedule_moldable(inst, p.eps, p.algo);
+  const auto v = sched::validate(r.schedule, inst);
+  ASSERT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors.front());
+  EXPECT_DOUBLE_EQ(r.makespan, v.makespan);
+  EXPECT_GE(r.makespan, r.lower_bound * (1 - 1e-9));
+  // Certified: makespan <= guarantee * OPT <= guarantee * 2 * lower_bound.
+  EXPECT_LE(r.makespan, r.guarantee * 2 * r.lower_bound * (1 + 1e-9))
+      << algorithm_name(p.algo) << " " << jobs::family_name(p.family);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cs;
+  for (Algorithm a : {Algorithm::kMrt, Algorithm::kCompressible, Algorithm::kBounded,
+                      Algorithm::kBoundedLinear, Algorithm::kLudwigTiwari}) {
+    for (Family f : {Family::kAmdahl, Family::kPowerLaw, Family::kCommOverhead,
+                     Family::kMixed, Family::kHighVariance, Family::kSequentialOnly}) {
+      cs.push_back({a, f, 20, 128, 0.3});
+      cs.push_back({a, f, 50, 512, 0.15});
+    }
+  }
+  // FPTAS cases in its regime.
+  for (Family f : {Family::kAmdahl, Family::kMixed})
+    cs.push_back({Algorithm::kFptas, f, 10, 1 << 14, 0.5});
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(BigSweep, SchedulerSweep, ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           const auto& p = info.param;
+                           std::string name = algorithm_name(p.algo) + "_" +
+                                              jobs::family_name(p.family) + "_n" +
+                                              std::to_string(p.n) + "_m" +
+                                              std::to_string(p.m) + "_e" +
+                                              std::to_string(static_cast<int>(p.eps * 100));
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  const Instance inst = make_instance(Family::kMixed, 30, 256, 5);
+  const ScheduleResult a = schedule_moldable(inst, 0.25, Algorithm::kBoundedLinear);
+  const ScheduleResult b = schedule_moldable(inst, 0.25, Algorithm::kBoundedLinear);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.dual_calls, b.dual_calls);
+}
+
+}  // namespace
+}  // namespace moldable::core
+
+namespace moldable::core {
+namespace {
+
+TEST(Ptas, FptasBranchAboveThreshold) {
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kAmdahl, 6, 1 << 14, 3);
+  const ScheduleResult r = ptas_schedule(inst, 0.5);
+  EXPECT_EQ(r.used, Algorithm::kFptas);
+  EXPECT_DOUBLE_EQ(r.guarantee, 1.5);
+}
+
+TEST(Ptas, ExactBranchForTinyLowM) {
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kTable, 4, 5, 3);
+  const ScheduleResult r = ptas_schedule(inst, 0.25);
+  EXPECT_DOUBLE_EQ(r.guarantee, 1);
+  EXPECT_DOUBLE_EQ(r.ratio_vs_lower, 1);
+  const auto v = sched::validate(r.schedule, inst);
+  EXPECT_TRUE(v.ok);
+}
+
+TEST(Ptas, SubstitutedBranchForMidSize) {
+  const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 50, 128, 3);
+  const ScheduleResult r = ptas_schedule(inst, 0.25);
+  EXPECT_EQ(r.used, Algorithm::kBoundedLinear);
+  EXPECT_DOUBLE_EQ(r.guarantee, 1.75);
+  EXPECT_TRUE(sched::validate(r.schedule, inst).ok);
+}
+
+}  // namespace
+}  // namespace moldable::core

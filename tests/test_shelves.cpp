@@ -1,0 +1,87 @@
+// Tests for the two-shelf construction (Section 4.1, Figure 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/jobs/generators.hpp"
+#include "src/sched/shelves.hpp"
+
+namespace moldable::sched {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+TEST(TwoShelf, PlacesWithCanonicalAllotments) {
+  const Instance inst = make_instance(Family::kAmdahl, 12, 32, 3);
+  const double d = 2 * inst.trivial_lower_bound();
+  // Big jobs that can meet d/2 go wherever; alternate for the test.
+  std::vector<std::size_t> big;
+  std::vector<char> in_s1;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const jobs::Job& job = inst.job(j);
+    if (job.t1() <= d / 2) continue;  // small
+    if (!job.gamma(d / 2)) continue;  // would be forced; skip for this test
+    big.push_back(j);
+    in_s1.push_back(big.size() % 2 == 0 ? 1 : 0);
+  }
+  const TwoShelfSchedule ts = build_two_shelf(inst, big, in_s1, d);
+  EXPECT_DOUBLE_EQ(ts.d, d);
+  for (const auto& e : ts.s1) {
+    EXPECT_TRUE(leq_tol(e.time, d));
+    EXPECT_EQ(inst.job(e.job).gamma(d).value(), e.procs);
+  }
+  for (const auto& e : ts.s2) {
+    EXPECT_TRUE(leq_tol(e.time, d / 2));
+    EXPECT_EQ(inst.job(e.job).gamma(d / 2).value(), e.procs);
+  }
+  EXPECT_EQ(ts.s1.size() + ts.s2.size(), big.size());
+}
+
+TEST(TwoShelf, WorkMatchesEquationSeven) {
+  const Instance inst = make_instance(Family::kPowerLaw, 8, 16, 5);
+  const double d = 2 * inst.trivial_lower_bound();
+  std::vector<std::size_t> big;
+  std::vector<char> in_s1;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    if (inst.job(j).t1() <= d / 2 || !inst.job(j).gamma(d / 2)) continue;
+    big.push_back(j);
+    in_s1.push_back(1);  // everything in S1
+  }
+  const TwoShelfSchedule ts = build_two_shelf(inst, big, in_s1, d);
+  double expect = 0;
+  for (std::size_t j : big) expect += inst.job(j).work(*inst.job(j).gamma(d));
+  EXPECT_NEAR(ts.work(), expect, 1e-9 * std::max(1.0, expect));
+}
+
+TEST(TwoShelf, Shelf2MayOverflowM) {
+  // Figure 2's point: S2 is allowed to exceed m before the transformation.
+  // Construct many barely-parallel big jobs so gamma(d/2) sums beyond m.
+  std::vector<jobs::Job> jv;
+  const procs_t m = 8;
+  for (int i = 0; i < 12; ++i)
+    jv.emplace_back(std::make_shared<jobs::AmdahlTime>(10.0, 0.9), m);
+  const Instance inst(std::move(jv), m);
+  const double d = 11.0;  // t1 = 10 > d/2 = 5.5: all big
+  std::vector<std::size_t> big(inst.size());
+  std::iota(big.begin(), big.end(), std::size_t{0});
+  const std::vector<char> in_s1(big.size(), 0);  // everything in S2
+  const TwoShelfSchedule ts = build_two_shelf(inst, big, in_s1, d);
+  EXPECT_GT(ts.procs_s2(), m);
+  EXPECT_EQ(ts.procs_s1(), 0);
+}
+
+TEST(TwoShelf, ThrowsWhenGammaUndefined) {
+  std::vector<jobs::Job> jv;
+  jv.emplace_back(std::make_shared<jobs::AmdahlTime>(10.0, 0.0), 4);  // constant 10
+  const Instance inst(std::move(jv), 4);
+  const std::vector<std::size_t> big = {0};
+  const std::vector<char> in_s2 = {0};
+  // d/2 = 4 < 10 = t(m): gamma(d/2) undefined -> S2 placement impossible.
+  EXPECT_THROW(build_two_shelf(inst, big, in_s2, 8.0), internal_error);
+}
+
+}  // namespace
+}  // namespace moldable::sched

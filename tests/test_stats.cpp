@@ -1,0 +1,68 @@
+// Tests for schedule statistics and the busy profile.
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/stats.hpp"
+
+namespace moldable::sched {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+TEST(Stats, PerfectTilingIsFullyUtilized) {
+  const Instance inst = jobs::perfect_tiling_instance(8, 3.0);
+  Schedule s;
+  for (std::size_t j = 0; j < 8; ++j) s.add({j, 0.0, 1, 3.0});
+  const ScheduleStats st = compute_stats(s, inst);
+  EXPECT_NEAR(st.utilization, 1.0, 1e-12);
+  EXPECT_NEAR(st.idle_time, 0.0, 1e-9);
+  EXPECT_NEAR(st.work_inflation, 1.0, 1e-12);  // everyone sequential
+  EXPECT_NEAR(st.avg_efficiency, 1.0, 1e-12);
+  EXPECT_EQ(st.peak_procs, 8);
+  EXPECT_DOUBLE_EQ(st.avg_allotment, 1.0);
+}
+
+TEST(Stats, WorkInflationTracksParallelism) {
+  // Amdahl jobs run wide: work grows, inflation > 1, efficiency < 1.
+  const Instance inst = make_instance(Family::kAmdahl, 6, 32, 5);
+  Schedule s;
+  for (std::size_t j = 0; j < 6; ++j) s.add({j, 0.0, 4, inst.job(j).time(4)});
+  const ScheduleStats st = compute_stats(s, inst);
+  EXPECT_GT(st.work_inflation, 1.0);
+  EXPECT_LT(st.avg_efficiency, 1.0);
+  EXPECT_EQ(st.max_allotment, 4);
+}
+
+TEST(Stats, ConsistentWithScheduler) {
+  const Instance inst = make_instance(Family::kMixed, 20, 64, 9);
+  const core::ScheduleResult r = core::schedule_moldable(inst, 0.25);
+  const ScheduleStats st = compute_stats(r.schedule, inst);
+  EXPECT_NEAR(st.makespan, r.makespan, 1e-12);
+  EXPECT_GT(st.utilization, 0.0);
+  EXPECT_LE(st.utilization, 1.0 + 1e-12);
+  EXPECT_GE(st.work_inflation, 1.0 - 1e-12);  // monotone work floor
+}
+
+TEST(BusyProfile, StepsMatchEvents) {
+  Schedule s;
+  s.add({0, 0.0, 2, 4.0});
+  s.add({1, 1.0, 3, 2.0});
+  const auto prof = busy_profile(s);
+  ASSERT_GE(prof.size(), 3u);
+  EXPECT_DOUBLE_EQ(prof[0].time, 0.0);
+  EXPECT_EQ(prof[0].busy, 2);
+  EXPECT_DOUBLE_EQ(prof[1].time, 1.0);
+  EXPECT_EQ(prof[1].busy, 5);
+  // Final event returns to zero.
+  EXPECT_EQ(prof.back().busy, 0);
+}
+
+TEST(BusyProfile, EmptySchedule) {
+  EXPECT_TRUE(busy_profile(Schedule{}).empty());
+}
+
+}  // namespace
+}  // namespace moldable::sched

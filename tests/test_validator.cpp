@@ -1,0 +1,121 @@
+// Tests for the schedule validator: each failure mode (V1)-(V5) must be
+// detected, and valid schedules must pass with correct statistics.
+#include <gtest/gtest.h>
+
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::sched {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+Instance small_instance() { return make_instance(Family::kAmdahl, 4, 8, 21); }
+
+Schedule valid_schedule(const Instance& inst) {
+  Schedule s;
+  double t = 0;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    s.add({j, t, 2, inst.job(j).time(2)});
+    t += inst.job(j).time(2);
+  }
+  return s;
+}
+
+TEST(Validator, AcceptsValidSchedule) {
+  const Instance inst = small_instance();
+  const Schedule s = valid_schedule(inst);
+  const ValidationResult r = validate(s, inst);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_DOUBLE_EQ(r.makespan, s.makespan());
+  EXPECT_DOUBLE_EQ(r.total_work, s.total_work());
+  EXPECT_EQ(r.peak_procs, 2);
+  EXPECT_NO_THROW(validate_or_throw(s, inst));
+}
+
+TEST(Validator, DetectsMissingJob) {
+  const Instance inst = small_instance();
+  Schedule s = valid_schedule(inst);
+  Schedule missing;
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) missing.add(s.assignments()[i]);
+  const ValidationResult r = validate(missing, inst);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.errors.front().find("unscheduled"), std::string::npos);
+}
+
+TEST(Validator, DetectsDuplicateJob) {
+  const Instance inst = small_instance();
+  Schedule s = valid_schedule(inst);
+  s.add(s.assignments()[0]);
+  EXPECT_FALSE(validate(s, inst).ok);
+}
+
+TEST(Validator, DetectsUnknownJobIndex) {
+  const Instance inst = small_instance();
+  Schedule s = valid_schedule(inst);
+  s.add({99, 0.0, 1, 1.0});
+  EXPECT_FALSE(validate(s, inst).ok);
+}
+
+TEST(Validator, DetectsAllotmentOutOfRange) {
+  const Instance inst = small_instance();
+  Schedule s;
+  s.add({0, 0.0, 0, inst.job(0).t1()});
+  for (std::size_t j = 1; j < inst.size(); ++j) s.add({j, 0.0, 1, inst.job(j).t1()});
+  EXPECT_FALSE(validate(s, inst).ok);
+
+  Schedule s2;
+  s2.add({0, 0.0, 9, 1.0});  // m = 8
+  for (std::size_t j = 1; j < inst.size(); ++j) s2.add({j, 0.0, 1, inst.job(j).t1()});
+  EXPECT_FALSE(validate(s2, inst).ok);
+}
+
+TEST(Validator, DetectsWrongDuration) {
+  const Instance inst = small_instance();
+  Schedule s = valid_schedule(inst);
+  auto a = s.assignments()[0];
+  Schedule bad;
+  bad.add({a.job, a.start, a.procs, a.duration * 2});
+  for (std::size_t i = 1; i < s.size(); ++i) bad.add(s.assignments()[i]);
+  const ValidationResult r = validate(bad, inst);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Validator, DetectsNegativeStart) {
+  const Instance inst = small_instance();
+  Schedule s = valid_schedule(inst);
+  auto a = s.assignments()[0];
+  Schedule bad;
+  bad.add({a.job, -1.0, a.procs, a.duration});
+  for (std::size_t i = 1; i < s.size(); ++i) bad.add(s.assignments()[i]);
+  EXPECT_FALSE(validate(bad, inst).ok);
+}
+
+TEST(Validator, DetectsCapacityOverflow) {
+  const Instance inst = small_instance();  // m = 8
+  Schedule s;
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    s.add({j, 0.0, 3, inst.job(j).time(3)});  // 12 > 8 concurrently
+  const ValidationResult r = validate(s, inst);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.peak_procs, 8);
+}
+
+TEST(Validator, BackToBackOnSameInstantIsLegal) {
+  const Instance inst = jobs::perfect_tiling_instance(1, 2.0);
+  // Single machine; two back-to-back jobs... tiling has m jobs = 1 job here.
+  Schedule s;
+  s.add({0, 0.0, 1, 2.0});
+  EXPECT_TRUE(validate(s, inst).ok);
+}
+
+TEST(Validator, ThrowingVariant) {
+  const Instance inst = small_instance();
+  Schedule s;  // everything unscheduled
+  EXPECT_THROW(validate_or_throw(s, inst), internal_error);
+}
+
+}  // namespace
+}  // namespace moldable::sched
