@@ -1,0 +1,164 @@
+// batch_service: throughput-oriented driver over engine::BatchSolver.
+//
+// Generates a batch of synthetic instances (round-robin over the generator
+// families), shards it across worker threads, and prints per-algorithm
+// aggregate quality/latency stats plus a determinism digest. The digest is
+// a pure function of the batch and the solver config, so
+//
+//   ./batch_service --instances 100 --threads 1
+//   ./batch_service --instances 100 --threads 8
+//
+// must print the same digest; `--verify` re-solves on 1 thread in-process
+// and fails loudly when the digests diverge.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/engine/batch_solver.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using moldable::engine::AlgorithmRegistry;
+using moldable::engine::BatchConfig;
+using moldable::engine::BatchResult;
+using moldable::engine::BatchSolver;
+
+struct Options {
+  std::size_t instances = 100;
+  std::size_t jobs = 64;
+  moldable::procs_t machines = 1024;
+  std::string algorithm = "auto";
+  double eps = 0.1;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool verify = false;
+};
+
+void usage(const char* argv0) {
+  std::cout << "usage: " << argv0 << " [options]\n"
+            << "  --instances N   batch size (default 100)\n"
+            << "  --jobs N        jobs per instance (default 64)\n"
+            << "  --machines M    machine count (default 1024)\n"
+            << "  --algorithm A   registry solver name (default auto); known:";
+  for (const auto& n : AlgorithmRegistry::global().names()) std::cout << ' ' << n;
+  std::cout << "\n  --eps E         approximation parameter in (0,1] (default 0.1)\n"
+            << "  --threads T     worker threads, 0 = hardware (default 0)\n"
+            << "  --seed S        base RNG seed (default 42)\n"
+            << "  --csv           emit the stats table as CSV\n"
+            << "  --verify        re-solve on 1 thread and compare digests\n";
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--instances") opt.instances = std::stoull(value());
+    else if (arg == "--jobs") opt.jobs = std::stoull(value());
+    else if (arg == "--machines") opt.machines = std::stoll(value());
+    else if (arg == "--algorithm") opt.algorithm = value();
+    else if (arg == "--eps") opt.eps = std::stod(value());
+    else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--seed") opt.seed = std::stoull(value());
+    else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--verify") opt.verify = true;
+    else if (arg == "--help" || arg == "-h") { usage(argv[0]); std::exit(0); }
+    else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+std::vector<moldable::jobs::Instance> make_batch(const Options& opt) {
+  // Round-robin over the closed-form families; kTable is skipped when the
+  // machine count exceeds its explicit-table cap.
+  std::vector<moldable::jobs::Family> families;
+  for (moldable::jobs::Family f : moldable::jobs::all_families()) {
+    if (f == moldable::jobs::Family::kTable && opt.machines > 8192) continue;
+    families.push_back(f);
+  }
+  std::vector<moldable::jobs::Instance> batch;
+  batch.reserve(opt.instances);
+  for (std::size_t i = 0; i < opt.instances; ++i) {
+    const auto family = families[i % families.size()];
+    batch.push_back(moldable::jobs::make_instance(family, opt.jobs, opt.machines,
+                                                  opt.seed + 1000003 * i));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const std::vector<moldable::jobs::Instance> batch = make_batch(opt);
+
+  BatchConfig config;
+  config.algorithm = opt.algorithm;
+  config.eps = opt.eps;
+  config.threads = opt.threads;
+
+  const BatchSolver solver;
+  BatchResult result;
+  try {
+    result = solver.solve(batch, config);
+  } catch (const std::exception& e) {
+    std::cerr << "batch_service: " << e.what() << "\n";
+    return 2;
+  }
+
+  moldable::util::Table table({"algorithm", "solved", "failed", "ratio-mean", "ratio-p50",
+                               "ratio-p90", "ratio-p99", "ratio-max", "wall-p50-ms",
+                               "wall-p99-ms", "wall-max-ms"});
+  for (const auto& s : result.per_algorithm) {
+    table.add_row({s.algorithm, std::to_string(s.count), std::to_string(s.failed),
+                   moldable::util::fmt(s.ratio_mean), moldable::util::fmt(s.ratio_p50),
+                   moldable::util::fmt(s.ratio_p90), moldable::util::fmt(s.ratio_p99),
+                   moldable::util::fmt(s.ratio_max), moldable::util::fmt(s.wall_p50 * 1e3),
+                   moldable::util::fmt(s.wall_p99 * 1e3),
+                   moldable::util::fmt(s.wall_max * 1e3)});
+  }
+  if (opt.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(result.digest()));
+  std::cout << "batch: " << result.solved << " solved, " << result.failed << " failed in "
+            << moldable::util::fmt(result.wall_seconds, 3) << " s ("
+            << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
+            << " threads)\ndigest: " << digest_hex << "\n";
+
+  for (const auto& o : result.outcomes)
+    if (!o.ok) std::cerr << "  instance " << o.index << " failed: " << o.error << "\n";
+
+  if (opt.verify) {
+    BatchConfig serial = config;
+    serial.threads = 1;
+    const BatchResult reference = solver.solve(batch, serial);
+    if (reference.digest() != result.digest()) {
+      std::cerr << "DETERMINISM VIOLATION: threads=" << opt.threads
+                << " digest differs from threads=1\n";
+      return 1;
+    }
+    std::cout << "determinism: OK (digest matches single-threaded reference)\n";
+  }
+  return result.failed == 0 ? 0 : 1;
+}

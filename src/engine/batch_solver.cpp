@@ -1,0 +1,154 @@
+#include "src/engine/batch_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/parallel.hpp"
+#include "src/util/timer.hpp"
+
+namespace moldable::engine {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(std::max(1.0, rank)) - 1);
+  return sorted[idx];
+}
+
+void fnv1a_mix(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv1a_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv1a_mix(h, &bits, sizeof(bits));
+}
+
+std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcomes) {
+  struct Bucket {
+    std::vector<double> ratios;
+    std::vector<double> walls;
+    std::size_t failed = 0;
+  };
+  std::map<std::string, Bucket> buckets;  // sorted by name for free
+  for (const InstanceOutcome& o : outcomes) {
+    Bucket& b = buckets[o.algorithm];
+    if (!o.ok) {
+      ++b.failed;
+      continue;
+    }
+    b.ratios.push_back(o.ratio);
+    b.walls.push_back(o.wall_seconds);
+  }
+
+  std::vector<AlgorithmStats> out;
+  out.reserve(buckets.size());
+  for (auto& [name, b] : buckets) {
+    AlgorithmStats s;
+    s.algorithm = name;
+    s.count = b.ratios.size();
+    s.failed = b.failed;
+    if (!b.ratios.empty()) {
+      std::sort(b.ratios.begin(), b.ratios.end());
+      std::sort(b.walls.begin(), b.walls.end());
+      double sum = 0;
+      for (double r : b.ratios) sum += r;
+      s.ratio_mean = sum / static_cast<double>(b.ratios.size());
+      s.ratio_p50 = percentile_sorted(b.ratios, 50);
+      s.ratio_p90 = percentile_sorted(b.ratios, 90);
+      s.ratio_p99 = percentile_sorted(b.ratios, 99);
+      s.ratio_max = b.ratios.back();
+      for (double w : b.walls) s.wall_total += w;
+      s.wall_p50 = percentile_sorted(b.walls, 50);
+      s.wall_p90 = percentile_sorted(b.walls, 90);
+      s.wall_p99 = percentile_sorted(b.walls, 99);
+      s.wall_max = b.walls.back();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t BatchResult::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const InstanceOutcome& o : outcomes) {
+    fnv1a_mix(h, &o.index, sizeof(o.index));
+    const unsigned char ok = o.ok ? 1 : 0;
+    fnv1a_mix(h, &ok, sizeof(ok));
+    fnv1a_mix(h, o.algorithm.data(), o.algorithm.size());
+    fnv1a_mix_double(h, o.makespan);
+    fnv1a_mix_double(h, o.lower_bound);
+    fnv1a_mix_double(h, o.ratio);
+    fnv1a_mix_double(h, o.guarantee);
+    fnv1a_mix(h, &o.dual_calls, sizeof(o.dual_calls));
+  }
+  return h;
+}
+
+BatchSolver::BatchSolver(const AlgorithmRegistry& registry) : registry_(&registry) {}
+
+BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
+                               const BatchConfig& config) const {
+  const SolverFn& solver = registry_->at(config.algorithm);  // throws on unknown
+  if (!(config.eps > 0) || config.eps > 1)
+    throw std::invalid_argument("batch: eps must be in (0, 1]");
+
+  const bool requested_auto = config.algorithm == "auto";
+  SolverConfig solver_config;
+  solver_config.eps = config.eps;
+
+  BatchResult result;
+  result.outcomes.resize(batch.size());
+
+  unsigned threads = config.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  util::Timer batch_timer;
+  util::parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        InstanceOutcome& out = result.outcomes[i];
+        out.index = i;
+        util::Timer item_timer;
+        try {
+          const core::ScheduleResult r = solver(batch[i], solver_config);
+          out.ok = true;
+          out.algorithm =
+              requested_auto ? core::algorithm_name(r.used) : config.algorithm;
+          out.makespan = r.makespan;
+          out.lower_bound = r.lower_bound;
+          out.ratio = r.ratio_vs_lower;
+          out.guarantee = r.guarantee;
+          out.dual_calls = r.dual_calls;
+        } catch (const std::exception& e) {
+          out.ok = false;
+          out.error = e.what();
+          out.algorithm = config.algorithm;
+        }
+        out.wall_seconds = item_timer.seconds();
+      },
+      threads);
+  result.wall_seconds = batch_timer.seconds();
+
+  for (const InstanceOutcome& o : result.outcomes) (o.ok ? result.solved : result.failed)++;
+  result.per_algorithm = aggregate(result.outcomes);
+  return result;
+}
+
+}  // namespace moldable::engine

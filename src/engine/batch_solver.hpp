@@ -1,0 +1,89 @@
+// BatchSolver: the throughput-oriented entry point of the library.
+//
+// A batch is a vector of independent instances; the solver shards them
+// across worker threads (util::parallel_for, static block partitioning) and
+// runs the registry solver named in the config on each. Results are written
+// into a per-index slot, so every algorithmic output (makespans, bounds,
+// ratios, resolved algorithm names, per-algorithm percentiles, the digest)
+// is a pure function of (batch, config.algorithm, config.eps) — bitwise
+// identical at --threads 1 and --threads N. Only the wall-clock fields
+// depend on the thread count.
+//
+// A solver failure on one instance (e.g. `exact` over its caps) is recorded
+// in that instance's outcome and never poisons the rest of the batch; a
+// worker crash (non-exception) is outside the model, as everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/registry.hpp"
+#include "src/jobs/instance.hpp"
+
+namespace moldable::engine {
+
+struct BatchConfig {
+  std::string algorithm = "auto";  ///< registry name to run on every instance
+  double eps = 0.1;                ///< approximation parameter, in (0, 1]
+  unsigned threads = 0;            ///< worker threads; 0 = hardware concurrency
+};
+
+/// Outcome for one instance of the batch, index-aligned with the input.
+struct InstanceOutcome {
+  std::size_t index = 0;
+  bool ok = false;
+  std::string error;      ///< what() of the solver's exception when !ok
+  std::string algorithm;  ///< resolved solver that ran (auto picks per instance)
+  double makespan = 0;
+  double lower_bound = 0;     ///< certified lower bound on OPT
+  double ratio = 0;           ///< makespan / lower_bound
+  double guarantee = 0;       ///< proven factor of the resolved solver
+  int dual_calls = 0;
+  double wall_seconds = 0;    ///< per-instance solve time (not deterministic)
+};
+
+/// Aggregate over all outcomes that resolved to one algorithm name.
+/// Percentiles are nearest-rank over the successful outcomes.
+struct AlgorithmStats {
+  std::string algorithm;
+  std::size_t count = 0;   ///< successful outcomes
+  std::size_t failed = 0;
+  double ratio_mean = 0;
+  double ratio_p50 = 0, ratio_p90 = 0, ratio_p99 = 0, ratio_max = 0;
+  double wall_total = 0;
+  double wall_p50 = 0, wall_p90 = 0, wall_p99 = 0, wall_max = 0;
+};
+
+struct BatchResult {
+  std::vector<InstanceOutcome> outcomes;      ///< index-aligned with the batch
+  std::vector<AlgorithmStats> per_algorithm;  ///< sorted by algorithm name
+  std::size_t solved = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0;  ///< whole-batch wall clock
+
+  /// FNV-1a over every algorithmic field of every outcome in batch order:
+  /// (index, ok, algorithm, makespan, lower_bound, ratio, guarantee,
+  /// dual_calls). Two runs of the same batch+config produce the same digest
+  /// regardless of thread count — the determinism check used by the
+  /// batch_service driver and the tests. wall_seconds is deliberately
+  /// excluded (the only non-deterministic field).
+  std::uint64_t digest() const;
+};
+
+class BatchSolver {
+ public:
+  /// The registry must outlive the solver (the global registry always does).
+  explicit BatchSolver(const AlgorithmRegistry& registry = AlgorithmRegistry::global());
+
+  /// Solves every instance. Throws std::invalid_argument up front when
+  /// config names an unknown algorithm or eps is out of range; per-instance
+  /// solver errors are recorded in the outcomes instead of thrown.
+  BatchResult solve(const std::vector<jobs::Instance>& batch,
+                    const BatchConfig& config) const;
+
+ private:
+  const AlgorithmRegistry* registry_;
+};
+
+}  // namespace moldable::engine

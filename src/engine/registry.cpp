@@ -1,0 +1,90 @@
+#include "src/engine/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/exact.hpp"
+
+namespace moldable::engine {
+
+namespace {
+
+SolverFn enum_solver(core::Algorithm algo) {
+  return [algo](const jobs::Instance& instance, const SolverConfig& config) {
+    return core::schedule_moldable(instance, config.eps, algo);
+  };
+}
+
+core::ScheduleResult solve_exact_wrapped(const jobs::Instance& instance,
+                                         const SolverConfig&) {
+  const auto exact = core::solve_exact(instance);  // throws over the hard caps
+  if (!exact)
+    throw std::runtime_error("exact: node budget exceeded for instance '" +
+                             instance.name() + "'");
+  core::ScheduleResult out;
+  out.schedule = exact->schedule;
+  out.lower_bound = exact->makespan;
+  out.makespan = exact->makespan;
+  out.ratio_vs_lower = 1;
+  out.guarantee = 1;
+  return out;
+}
+
+}  // namespace
+
+AlgorithmRegistry AlgorithmRegistry::with_builtins() {
+  AlgorithmRegistry r;
+  for (core::Algorithm a :
+       {core::Algorithm::kAuto, core::Algorithm::kFptas, core::Algorithm::kMrt,
+        core::Algorithm::kCompressible, core::Algorithm::kBounded,
+        core::Algorithm::kBoundedLinear, core::Algorithm::kLudwigTiwari})
+    r.add(core::algorithm_name(a), enum_solver(a));
+  r.add("ptas", [](const jobs::Instance& instance, const SolverConfig& config) {
+    return core::ptas_schedule(instance, config.eps);
+  });
+  r.add("exact", solve_exact_wrapped);
+  return r;
+}
+
+const AlgorithmRegistry& AlgorithmRegistry::global() {
+  static const AlgorithmRegistry instance = with_builtins();
+  return instance;
+}
+
+void AlgorithmRegistry::add(std::string name, SolverFn fn) {
+  if (name.empty()) throw std::invalid_argument("registry: empty solver name");
+  if (!fn) throw std::invalid_argument("registry: null solver for '" + name + "'");
+  if (!solvers_.emplace(std::move(name), std::move(fn)).second)
+    throw std::invalid_argument("registry: duplicate solver name");
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  return solvers_.count(name) != 0;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, fn] : solvers_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+const SolverFn& AlgorithmRegistry::at(const std::string& name) const {
+  const auto it = solvers_.find(name);
+  if (it == solvers_.end()) {
+    std::ostringstream msg;
+    msg << "registry: unknown algorithm '" << name << "'; known:";
+    for (const auto& n : names()) msg << ' ' << n;
+    throw std::invalid_argument(msg.str());
+  }
+  return it->second;
+}
+
+core::ScheduleResult AlgorithmRegistry::solve(const std::string& name,
+                                              const jobs::Instance& instance,
+                                              const SolverConfig& config) const {
+  return at(name)(instance, config);
+}
+
+}  // namespace moldable::engine

@@ -1,0 +1,73 @@
+// AlgorithmRegistry: the engine's name -> solver map.
+//
+// The core layer exposes each paper algorithm through its own entry point
+// (schedule_moldable + an Algorithm enum, ptas_schedule, solve_exact). The
+// batch engine and its drivers instead select solvers by *name* at run time
+// (CLI flags, service configs), so this registry wraps every variant behind
+// one uniform `solve(instance, config)` signature:
+//
+//   auto, fptas, mrt, algorithm1, algorithm3, algorithm3-linear  (the enum)
+//   lt-2approx                                                   (baseline)
+//   ptas                                                         (Section 3.2)
+//   exact                                                        (tiny refs)
+//
+// Registries are value types; `global()` returns the shared immutable
+// instance holding the built-ins. Custom variants (ablations, tuned eps
+// schedules) can be added to a copy without touching the core layer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/scheduler.hpp"
+#include "src/jobs/instance.hpp"
+
+namespace moldable::engine {
+
+/// Per-call solver parameters. Kept separate from core's positional
+/// arguments so new knobs (time limits, seeds) extend one struct instead of
+/// every solver signature.
+struct SolverConfig {
+  double eps = 0.1;  ///< approximation parameter, in (0, 1]
+};
+
+using SolverFn =
+    std::function<core::ScheduleResult(const jobs::Instance&, const SolverConfig&)>;
+
+class AlgorithmRegistry {
+ public:
+  /// Empty registry (for tests / custom variant sets).
+  AlgorithmRegistry() = default;
+
+  /// A registry populated with every built-in solver variant.
+  static AlgorithmRegistry with_builtins();
+
+  /// Shared immutable registry of the built-ins.
+  static const AlgorithmRegistry& global();
+
+  /// Registers `fn` under `name`. Throws std::invalid_argument when the
+  /// name is empty or already taken (silent override would make batch
+  /// configs ambiguous).
+  void add(std::string name, SolverFn fn);
+
+  bool contains(const std::string& name) const;
+
+  /// Sorted solver names (stable across runs; used by --help output).
+  std::vector<std::string> names() const;
+
+  /// Looks up `name`; throws std::invalid_argument with the known-name list
+  /// when it is not registered. The reference stays valid as long as the
+  /// registry does (batch callers resolve once, outside their worker loop).
+  const SolverFn& at(const std::string& name) const;
+
+  /// Looks up `name` and runs it (same throwing contract as at()).
+  core::ScheduleResult solve(const std::string& name, const jobs::Instance& instance,
+                             const SolverConfig& config) const;
+
+ private:
+  std::map<std::string, SolverFn> solvers_;
+};
+
+}  // namespace moldable::engine

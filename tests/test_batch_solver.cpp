@@ -1,0 +1,203 @@
+// Engine-layer tests: AlgorithmRegistry name lookup and the BatchSolver's
+// sharding contract — determinism across thread counts, empty/singleton
+// batches, per-algorithm aggregation, and per-instance failure isolation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/scheduler.hpp"
+#include "src/engine/batch_solver.hpp"
+#include "src/engine/registry.hpp"
+#include "src/jobs/generators.hpp"
+
+namespace moldable::engine {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+std::vector<Instance> small_batch(std::size_t count, procs_t m = 64) {
+  std::vector<Instance> batch;
+  const auto families = jobs::all_families();
+  for (std::size_t i = 0; i < count; ++i)
+    batch.push_back(make_instance(families[i % families.size()], 16, m, 100 + i));
+  return batch;
+}
+
+TEST(Registry, ListsEveryBuiltinVariant) {
+  const auto names = AlgorithmRegistry::global().names();
+  for (const char* expected :
+       {"auto", "fptas", "mrt", "algorithm1", "algorithm3", "algorithm3-linear",
+        "lt-2approx", "ptas", "exact"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing builtin: " << expected;
+  }
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, SolvesUnderEveryBuiltinName) {
+  const Instance tiny = make_instance(Family::kMixed, 4, 8, 7);        // exact-solvable
+  const Instance wide = make_instance(Family::kAmdahl, 4, 512, 7);     // FPTAS regime
+  SolverConfig config;
+  config.eps = 0.5;
+  for (const auto& name : AlgorithmRegistry::global().names()) {
+    const Instance& inst = name == "fptas" ? wide : tiny;
+    const core::ScheduleResult r = AlgorithmRegistry::global().solve(name, inst, config);
+    EXPECT_GT(r.makespan, 0) << name;
+    EXPECT_GE(r.makespan, r.lower_bound * (1 - 1e-9)) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownList) {
+  const Instance inst = make_instance(Family::kAmdahl, 4, 8, 1);
+  try {
+    AlgorithmRegistry::global().solve("no-such-solver", inst, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("algorithm3-linear"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsDuplicateAndEmptyNames) {
+  AlgorithmRegistry r;
+  r.add("x", [](const Instance& i, const SolverConfig& c) {
+    return core::schedule_moldable(i, c.eps);
+  });
+  EXPECT_TRUE(r.contains("x"));
+  EXPECT_THROW(r.add("x", [](const Instance& i, const SolverConfig& c) {
+    return core::schedule_moldable(i, c.eps);
+  }),
+               std::invalid_argument);
+  EXPECT_THROW(r.add("", [](const Instance& i, const SolverConfig& c) {
+    return core::schedule_moldable(i, c.eps);
+  }),
+               std::invalid_argument);
+  EXPECT_THROW(r.add("y", SolverFn{}), std::invalid_argument);
+}
+
+TEST(BatchSolver, EmptyBatch) {
+  const BatchSolver solver;
+  const BatchResult r = solver.solve({}, {});
+  EXPECT_TRUE(r.outcomes.empty());
+  EXPECT_TRUE(r.per_algorithm.empty());
+  EXPECT_EQ(r.solved, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.digest(), solver.solve({}, {}).digest());
+}
+
+TEST(BatchSolver, SingleInstanceMatchesDirectSolve) {
+  const Instance inst = make_instance(Family::kPowerLaw, 24, 128, 11);
+  BatchConfig config;
+  config.algorithm = "algorithm3-linear";
+  config.eps = 0.25;
+  const BatchResult r = BatchSolver().solve({inst}, config);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  ASSERT_TRUE(r.outcomes[0].ok) << r.outcomes[0].error;
+
+  const core::ScheduleResult direct =
+      core::schedule_moldable(inst, 0.25, core::Algorithm::kBoundedLinear);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].makespan, direct.makespan);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].lower_bound, direct.lower_bound);
+  EXPECT_EQ(r.outcomes[0].algorithm, "algorithm3-linear");
+  EXPECT_EQ(r.solved, 1u);
+  ASSERT_EQ(r.per_algorithm.size(), 1u);
+  EXPECT_EQ(r.per_algorithm[0].count, 1u);
+  EXPECT_DOUBLE_EQ(r.per_algorithm[0].ratio_p50, r.outcomes[0].ratio);
+  EXPECT_DOUBLE_EQ(r.per_algorithm[0].ratio_max, r.outcomes[0].ratio);
+}
+
+TEST(BatchSolver, DeterministicAcrossThreadCounts) {
+  const auto batch = small_batch(24);
+  for (const char* algorithm : {"auto", "algorithm1", "lt-2approx"}) {
+    BatchConfig serial;
+    serial.algorithm = algorithm;
+    serial.threads = 1;
+    BatchConfig parallel = serial;
+    parallel.threads = 5;
+
+    const BatchResult a = BatchSolver().solve(batch, serial);
+    const BatchResult b = BatchSolver().solve(batch, parallel);
+    EXPECT_EQ(a.digest(), b.digest()) << algorithm;
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].ok, b.outcomes[i].ok);
+      EXPECT_EQ(a.outcomes[i].algorithm, b.outcomes[i].algorithm);
+      EXPECT_DOUBLE_EQ(a.outcomes[i].makespan, b.outcomes[i].makespan);
+      EXPECT_DOUBLE_EQ(a.outcomes[i].ratio, b.outcomes[i].ratio);
+    }
+  }
+}
+
+TEST(BatchSolver, AutoResolvesPerInstanceAndAggregatesByResolvedName) {
+  // n=4 on m=512 is deep in the FPTAS regime; n=64 on m=64 is not. Under
+  // "auto" the two must resolve to different solvers and be aggregated
+  // under their resolved names.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kAmdahl, 4, 512, 3));
+  batch.push_back(make_instance(Family::kAmdahl, 64, 64, 3));
+  BatchConfig config;
+  config.eps = 0.5;
+  const BatchResult r = BatchSolver().solve(batch, config);
+  ASSERT_EQ(r.solved, 2u);
+  EXPECT_EQ(r.outcomes[0].algorithm, "fptas");
+  EXPECT_EQ(r.outcomes[1].algorithm, "algorithm3-linear");
+  ASSERT_EQ(r.per_algorithm.size(), 2u);
+  EXPECT_EQ(r.per_algorithm[0].algorithm, "algorithm3-linear");
+  EXPECT_EQ(r.per_algorithm[1].algorithm, "fptas");
+}
+
+TEST(BatchSolver, FailureIsIsolatedToTheOffendingInstance) {
+  // `exact` hard-caps at n <= 7, m <= 8: the middle instance violates the
+  // cap and must fail alone while its neighbours solve.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 21));
+  batch.push_back(make_instance(Family::kMixed, 40, 64, 22));  // over the caps
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 23));
+  BatchConfig config;
+  config.algorithm = "exact";
+  config.threads = 2;
+  const BatchResult r = BatchSolver().solve(batch, config);
+  EXPECT_EQ(r.solved, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_TRUE(r.outcomes[0].ok);
+  EXPECT_FALSE(r.outcomes[1].ok);
+  EXPECT_FALSE(r.outcomes[1].error.empty());
+  EXPECT_TRUE(r.outcomes[2].ok);
+  ASSERT_EQ(r.per_algorithm.size(), 1u);
+  EXPECT_EQ(r.per_algorithm[0].count, 2u);
+  EXPECT_EQ(r.per_algorithm[0].failed, 1u);
+}
+
+TEST(BatchSolver, InvalidConfigThrowsUpFront) {
+  const auto batch = small_batch(2);
+  BatchConfig bad_name;
+  bad_name.algorithm = "no-such-solver";
+  EXPECT_THROW(BatchSolver().solve(batch, bad_name), std::invalid_argument);
+  BatchConfig bad_eps;
+  bad_eps.eps = 0;
+  EXPECT_THROW(BatchSolver().solve(batch, bad_eps), std::invalid_argument);
+  bad_eps.eps = 1.5;
+  EXPECT_THROW(BatchSolver().solve(batch, bad_eps), std::invalid_argument);
+}
+
+TEST(BatchSolver, PercentilesAreOrdered) {
+  const auto batch = small_batch(40);
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+  config.threads = 3;
+  const BatchResult r = BatchSolver().solve(batch, config);
+  ASSERT_EQ(r.per_algorithm.size(), 1u);
+  const AlgorithmStats& s = r.per_algorithm[0];
+  EXPECT_EQ(s.count, 40u);
+  EXPECT_LE(s.ratio_p50, s.ratio_p90);
+  EXPECT_LE(s.ratio_p90, s.ratio_p99);
+  EXPECT_LE(s.ratio_p99, s.ratio_max);
+  EXPECT_GE(s.ratio_p50, 1.0 - 1e-9);
+  EXPECT_LE(s.ratio_max, 2.0 + 1e-9);  // Ludwig-Tiwari guarantee
+  EXPECT_LE(s.wall_p50, s.wall_max);
+}
+
+}  // namespace
+}  // namespace moldable::engine

@@ -1,0 +1,146 @@
+// Edge-case tests for the shared dual back-end (core/pipeline): the m = 1
+// degenerate machine, single-job instances, all-small batches, exact
+// threshold/boundary deadlines, and work-bound overflow rejections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/sched/validator.hpp"
+
+namespace moldable::core {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+// n constant-time jobs (t(k) = t for every k) bound to m machines.
+Instance constant_jobs(std::initializer_list<double> times, procs_t m) {
+  std::vector<jobs::Job> jv;
+  for (double t : times) jv.emplace_back(std::make_shared<jobs::AmdahlTime>(t, 0.0), m);
+  return Instance(std::move(jv), m);
+}
+
+TEST(PipelineEdges, SingleMachineAllSmallStacksSequentially) {
+  const Instance inst = constant_jobs({1, 1, 1, 1}, 1);
+  const double d = 8;  // W_S = 4 <= m*d - 0 and every t1 = 1 <= d/2
+  const BigSmallSplit split = split_small_big(inst, d);
+  EXPECT_EQ(split.small.size(), 4u);
+  EXPECT_TRUE(split.big.empty());
+  EXPECT_DOUBLE_EQ(split.small_work, 4);
+
+  const auto s = assemble_schedule(inst, d, {}, sched::TransformPolicy::kExactHeap, 0.2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(sched::validate(*s, inst).ok);
+  EXPECT_EQ(s->size(), 4u);
+  EXPECT_DOUBLE_EQ(s->makespan(), 4);  // sequential on the single machine
+  EXPECT_EQ(s->peak_procs(), 1);
+}
+
+TEST(PipelineEdges, SingleMachineSingleBigJob) {
+  const Instance inst = constant_jobs({5}, 1);
+  const double d = 8;  // t1 = 5 > d/2: big and forced (t(m) = 5 > 4)
+  const BigSmallSplit split = split_small_big(inst, d);
+  EXPECT_EQ(split.big.size(), 1u);
+
+  // The forced job must be passed in s1_jobs; with it the assembly succeeds.
+  EXPECT_FALSE(
+      assemble_schedule(inst, d, {}, sched::TransformPolicy::kExactHeap, 0.2).has_value());
+  const auto s = assemble_schedule(inst, d, {0}, sched::TransformPolicy::kExactHeap, 0.2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(sched::validate(*s, inst).ok);
+  EXPECT_DOUBLE_EQ(s->makespan(), 5);
+}
+
+TEST(PipelineEdges, SingleMachineRejectsOverfullShelfOne) {
+  // Three forced jobs need three shelf-1 processors but m = 1.
+  const Instance inst = constant_jobs({3, 3, 3}, 1);
+  const double d = 4;
+  EXPECT_FALSE(assemble_schedule(inst, d, {0, 1, 2}, sched::TransformPolicy::kExactHeap, 0.2)
+                   .has_value());
+}
+
+TEST(PipelineEdges, SingleMachineRejectsSmallWorkOverflow) {
+  // All jobs are small at d = 4 but their sequential work 5 * 1.9 exceeds
+  // m * d = 4: the Lemma 6 work bound must reject.
+  const Instance inst = constant_jobs({1.9, 1.9, 1.9, 1.9, 1.9}, 1);
+  AssemblyStats stats;
+  const auto s =
+      assemble_schedule(inst, 4, {}, sched::TransformPolicy::kExactHeap, 0.2, &stats);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_LT(stats.work_bound, 0);
+}
+
+TEST(PipelineEdges, SingleJobSmallVsBigAcrossDeadlines) {
+  const Instance inst = constant_jobs({10}, 4);
+  // d = 20: t1 = 10 = d/2, boundary-inclusive small.
+  EXPECT_EQ(split_small_big(inst, 20).small.size(), 1u);
+  const auto small_side =
+      assemble_schedule(inst, 20, {}, sched::TransformPolicy::kExactHeap, 0.2);
+  ASSERT_TRUE(small_side.has_value());
+  EXPECT_TRUE(sched::validate(*small_side, inst).ok);
+  EXPECT_DOUBLE_EQ(small_side->makespan(), 10);
+
+  // d = 12: big and forced (t(m) = 10 > 6); shelf 1 alone schedules it.
+  EXPECT_EQ(split_small_big(inst, 12).big.size(), 1u);
+  const auto big_side =
+      assemble_schedule(inst, 12, {0}, sched::TransformPolicy::kExactHeap, 0.2);
+  ASSERT_TRUE(big_side.has_value());
+  EXPECT_TRUE(sched::validate(*big_side, inst).ok);
+  EXPECT_DOUBLE_EQ(big_side->makespan(), 10);
+}
+
+TEST(PipelineEdges, SplitThresholdIsBoundaryInclusive) {
+  const Instance inst = constant_jobs({5}, 4);
+  EXPECT_EQ(split_small_big(inst, 10).small.size(), 1u);  // t1 == d/2 exactly
+  EXPECT_EQ(split_small_big(inst, 10 * (1 - 1e-6)).big.size(), 1u);
+}
+
+TEST(PipelineEdges, AllSmallGeneratedInstanceAssemblesEveryJob) {
+  const Instance inst = make_instance(Family::kMixed, 40, 64, 17);
+  double max_t1 = 0;
+  for (const jobs::Job& j : inst.jobs()) max_t1 = std::max(max_t1, j.t1());
+  const double d = 2 * max_t1;  // everything small, shelf sets empty
+  const BigSmallSplit split = split_small_big(inst, d);
+  EXPECT_TRUE(split.big.empty());
+  EXPECT_EQ(split.small.size(), inst.size());
+
+  AssemblyStats stats;
+  const auto s =
+      assemble_schedule(inst, d, {}, sched::TransformPolicy::kExactHeap, 0.2, &stats);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(sched::validate(*s, inst).ok);
+  EXPECT_EQ(s->size(), inst.size());
+  EXPECT_LE(s->makespan(), 1.5 * d * (1 + 1e-9));
+  EXPECT_EQ(stats.shelf1_procs, 0);
+  EXPECT_EQ(stats.shelf2_procs, 0);
+}
+
+TEST(PipelineEdges, DeadlineExactlyAtInfeasibilityBoundary) {
+  const Instance inst = make_instance(Family::kPowerLaw, 12, 32, 9);
+  const double d_star = inst.min_time_bound();  // max_j t_j(m)
+  // Exactly at the boundary the deadline is still feasible (<= with
+  // tolerance); any relative shave beyond the tolerance flips it.
+  EXPECT_FALSE(deadline_infeasible(inst, d_star));
+  EXPECT_TRUE(deadline_infeasible(inst, d_star * (1 - 1e-6)));
+  EXPECT_FALSE(deadline_infeasible(inst, d_star * (1 + 1e-6)));
+}
+
+TEST(PipelineEdges, EmptyInstanceAssemblesEmptySchedule) {
+  const Instance inst(std::vector<jobs::Job>{}, 4);
+  const BigSmallSplit split = split_small_big(inst, 1);
+  EXPECT_TRUE(split.big.empty());
+  EXPECT_TRUE(split.small.empty());
+  EXPECT_FALSE(deadline_infeasible(inst, 0.0));
+  const auto s = assemble_schedule(inst, 1, {}, sched::TransformPolicy::kExactHeap, 0.2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->empty());
+  EXPECT_DOUBLE_EQ(s->makespan(), 0);
+}
+
+}  // namespace
+}  // namespace moldable::core
