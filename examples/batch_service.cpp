@@ -1,9 +1,21 @@
-// batch_service: throughput-oriented driver over engine::BatchSolver.
+// batch_service: throughput-oriented driver over the batch engine.
 //
-// Generates a batch of synthetic instances (round-robin over the generator
-// families), shards it across worker threads, and prints per-algorithm
-// aggregate quality/latency stats plus a determinism digest. The digest is
-// a pure function of the batch and the solver config, so
+// Two batch sources:
+//   * synthetic (default): round-robin over the generator families;
+//   * --input dir/        : replay real instance files (jobs/io.hpp format);
+//                           malformed files are skipped with a diagnostic.
+//
+// Two solve modes:
+//   * single solver (--algorithm A, default auto)  -> engine::BatchSolver;
+//   * portfolio     (--portfolio a,b,c)            -> engine::PortfolioSolver,
+//     racing every named variant per instance and keeping the best valid
+//     schedule (per-variant win counts and quality gaps in the stats).
+//
+// Latency columns split per-instance time into queue (batch submission ->
+// shard pickup, steady clock) and compute (pure solve) so percentiles stay
+// meaningful when worker threads oversubscribe the machine.
+//
+// The result digest is a pure function of the batch and the solver config:
 //
 //   ./batch_service --instances 100 --threads 1
 //   ./batch_service --instances 100 --threads 8
@@ -14,11 +26,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/engine/batch_solver.hpp"
+#include "src/engine/portfolio.hpp"
 #include "src/jobs/generators.hpp"
+#include "src/jobs/io.hpp"
 #include "src/util/table.hpp"
 
 namespace {
@@ -27,29 +42,40 @@ using moldable::engine::AlgorithmRegistry;
 using moldable::engine::BatchConfig;
 using moldable::engine::BatchResult;
 using moldable::engine::BatchSolver;
+using moldable::engine::PortfolioConfig;
+using moldable::engine::PortfolioResult;
+using moldable::engine::PortfolioSolver;
 
 struct Options {
   std::size_t instances = 100;
   std::size_t jobs = 64;
   moldable::procs_t machines = 1024;
   std::string algorithm = "auto";
+  std::string portfolio;  // comma-separated variant list; empty = single solver
+  std::string input;      // directory of instance files; empty = synthetic
   double eps = 0.1;
   unsigned threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 42;
   bool csv = false;
   bool verify = false;
+  bool algorithm_set = false;  // --algorithm given explicitly
+  bool synthetic_set = false;  // any of --instances/--jobs/--machines/--seed given
 };
 
 void usage(const char* argv0) {
   std::cout << "usage: " << argv0 << " [options]\n"
-            << "  --instances N   batch size (default 100)\n"
-            << "  --jobs N        jobs per instance (default 64)\n"
-            << "  --machines M    machine count (default 1024)\n"
+            << "  --instances N   synthetic batch size (default 100)\n"
+            << "  --jobs N        jobs per synthetic instance (default 64)\n"
+            << "  --machines M    synthetic machine count (default 1024)\n"
+            << "  --input DIR     replay instance files from DIR instead of\n"
+            << "                  generating synthetically (bad files skipped)\n"
             << "  --algorithm A   registry solver name (default auto); known:";
   for (const auto& n : AlgorithmRegistry::global().names()) std::cout << ' ' << n;
-  std::cout << "\n  --eps E         approximation parameter in (0,1] (default 0.1)\n"
+  std::cout << "\n  --portfolio A,B race the named variants per instance and\n"
+            << "                  keep the best valid schedule\n"
+            << "  --eps E         approximation parameter in (0,1] (default 0.1)\n"
             << "  --threads T     worker threads, 0 = hardware (default 0)\n"
-            << "  --seed S        base RNG seed (default 42)\n"
+            << "  --seed S        base RNG seed for synthetic batches (default 42)\n"
             << "  --csv           emit the stats table as CSV\n"
             << "  --verify        re-solve on 1 thread and compare digests\n";
 }
@@ -65,13 +91,27 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--instances") opt.instances = std::stoull(value());
-    else if (arg == "--jobs") opt.jobs = std::stoull(value());
-    else if (arg == "--machines") opt.machines = std::stoll(value());
-    else if (arg == "--algorithm") opt.algorithm = value();
+    if (arg == "--instances") { opt.instances = std::stoull(value()); opt.synthetic_set = true; }
+    else if (arg == "--jobs") { opt.jobs = std::stoull(value()); opt.synthetic_set = true; }
+    else if (arg == "--machines") { opt.machines = std::stoll(value()); opt.synthetic_set = true; }
+    else if (arg == "--algorithm") { opt.algorithm = value(); opt.algorithm_set = true; }
+    else if (arg == "--portfolio") {
+      opt.portfolio = value();
+      if (opt.portfolio.empty()) {  // don't silently fall back to single-solver
+        std::cerr << "empty --portfolio spec\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--input") {
+      opt.input = value();
+      if (opt.input.empty()) {  // don't silently fall back to synthetic batches
+        std::cerr << "empty --input directory\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--eps") opt.eps = std::stod(value());
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::stoul(value()));
-    else if (arg == "--seed") opt.seed = std::stoull(value());
+    else if (arg == "--seed") { opt.seed = std::stoull(value()); opt.synthetic_set = true; }
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--verify") opt.verify = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); std::exit(0); }
@@ -84,7 +124,7 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-std::vector<moldable::jobs::Instance> make_batch(const Options& opt) {
+std::vector<moldable::jobs::Instance> make_synthetic_batch(const Options& opt) {
   // Round-robin over the closed-form families; kTable is skipped when the
   // machine count exceeds its explicit-table cap.
   std::vector<moldable::jobs::Family> families;
@@ -102,34 +142,64 @@ std::vector<moldable::jobs::Instance> make_batch(const Options& opt) {
   return batch;
 }
 
-}  // namespace
+std::vector<moldable::jobs::Instance> load_input_batch(const std::string& dir) {
+  const moldable::jobs::DirectoryLoad load = moldable::jobs::load_instances_from_dir(dir);
+  for (const auto& f : load.files)
+    if (!f.ok) std::cerr << "skipping " << f.path << ": " << f.error << "\n";
+  std::cerr << "input: " << load.loaded << " instance(s) loaded, " << load.skipped
+            << " file(s) skipped from " << dir << "\n";
+  if (load.instances.empty())
+    throw std::runtime_error("no loadable instance files in " + dir);
+  return load.instances;
+}
 
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  const std::vector<moldable::jobs::Instance> batch = make_batch(opt);
+/// Re-solves on 1 thread and compares digests; 0 on match, 1 on violation.
+template <typename Solver, typename Config>
+int check_determinism(const Solver& solver,
+                      const std::vector<moldable::jobs::Instance>& batch, Config config,
+                      std::uint64_t parallel_digest, unsigned threads) {
+  config.threads = 1;
+  if (solver.solve(batch, config).digest() != parallel_digest) {
+    std::cerr << "DETERMINISM VIOLATION: threads=" << threads
+              << " digest differs from threads=1\n";
+    return 1;
+  }
+  std::cout << "determinism: OK (digest matches single-threaded reference)\n";
+  return 0;
+}
 
+void print_digest_line(std::size_t solved, std::size_t failed, double wall_seconds,
+                       unsigned threads, std::uint64_t digest) {
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  std::cout << "batch: " << solved << " solved, " << failed << " failed in "
+            << moldable::util::fmt(wall_seconds, 3) << " s ("
+            << (threads == 0 ? std::string("hw") : std::to_string(threads))
+            << " threads)\ndigest: " << digest_hex << "\n";
+}
+
+int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& batch) {
   BatchConfig config;
   config.algorithm = opt.algorithm;
   config.eps = opt.eps;
   config.threads = opt.threads;
 
   const BatchSolver solver;
-  BatchResult result;
-  try {
-    result = solver.solve(batch, config);
-  } catch (const std::exception& e) {
-    std::cerr << "batch_service: " << e.what() << "\n";
-    return 2;
-  }
+  const BatchResult result = solver.solve(batch, config);
 
   moldable::util::Table table({"algorithm", "solved", "failed", "ratio-mean", "ratio-p50",
-                               "ratio-p90", "ratio-p99", "ratio-max", "wall-p50-ms",
-                               "wall-p99-ms", "wall-max-ms"});
+                               "ratio-p90", "ratio-p99", "ratio-max", "queue-p50-ms",
+                               "queue-p99-ms", "compute-p50-ms", "compute-p99-ms",
+                               "compute-max-ms"});
   for (const auto& s : result.per_algorithm) {
     table.add_row({s.algorithm, std::to_string(s.count), std::to_string(s.failed),
                    moldable::util::fmt(s.ratio_mean), moldable::util::fmt(s.ratio_p50),
                    moldable::util::fmt(s.ratio_p90), moldable::util::fmt(s.ratio_p99),
-                   moldable::util::fmt(s.ratio_max), moldable::util::fmt(s.wall_p50 * 1e3),
+                   moldable::util::fmt(s.ratio_max),
+                   moldable::util::fmt(s.queue_p50 * 1e3),
+                   moldable::util::fmt(s.queue_p99 * 1e3),
+                   moldable::util::fmt(s.wall_p50 * 1e3),
                    moldable::util::fmt(s.wall_p99 * 1e3),
                    moldable::util::fmt(s.wall_max * 1e3)});
   }
@@ -138,27 +208,79 @@ int main(int argc, char** argv) {
   else
     table.print(std::cout);
 
-  char digest_hex[32];
-  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
-                static_cast<unsigned long long>(result.digest()));
-  std::cout << "batch: " << result.solved << " solved, " << result.failed << " failed in "
-            << moldable::util::fmt(result.wall_seconds, 3) << " s ("
-            << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
-            << " threads)\ndigest: " << digest_hex << "\n";
-
+  print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
+                    result.digest());
   for (const auto& o : result.outcomes)
     if (!o.ok) std::cerr << "  instance " << o.index << " failed: " << o.error << "\n";
 
-  if (opt.verify) {
-    BatchConfig serial = config;
-    serial.threads = 1;
-    const BatchResult reference = solver.solve(batch, serial);
-    if (reference.digest() != result.digest()) {
-      std::cerr << "DETERMINISM VIOLATION: threads=" << opt.threads
-                << " digest differs from threads=1\n";
-      return 1;
-    }
-    std::cout << "determinism: OK (digest matches single-threaded reference)\n";
-  }
+  if (opt.verify &&
+      check_determinism(solver, batch, config, result.digest(), opt.threads) != 0)
+    return 1;
   return result.failed == 0 ? 0 : 1;
+}
+
+int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance>& batch) {
+  PortfolioConfig config;
+  config.variants = moldable::engine::parse_portfolio_spec(opt.portfolio);
+  config.eps = opt.eps;
+  config.threads = opt.threads;
+
+  const PortfolioSolver solver;
+  const PortfolioResult result = solver.solve(batch, config);
+
+  moldable::util::Table table({"variant", "wins", "solved", "failed", "gap-mean",
+                               "gap-max", "compute-p50-ms", "compute-p99-ms",
+                               "compute-total-s"});
+  for (const auto& s : result.per_variant) {
+    table.add_row({s.algorithm, std::to_string(s.wins), std::to_string(s.solved),
+                   std::to_string(s.failed), moldable::util::fmt(s.gap_mean),
+                   moldable::util::fmt(s.gap_max), moldable::util::fmt(s.wall_p50 * 1e3),
+                   moldable::util::fmt(s.wall_p99 * 1e3),
+                   moldable::util::fmt(s.wall_total, 3)});
+  }
+  if (opt.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+
+  // Prose trailer, like the batch/digest lines below: CSV consumers already
+  // have to stop at the first non-CSV line, and dropping the queue stats in
+  // --csv mode would lose data the flag exists to export.
+  std::cout << "queue: p50 " << moldable::util::fmt(result.queue_p50 * 1e3)
+            << " ms, p99 " << moldable::util::fmt(result.queue_p99 * 1e3)
+            << " ms, max " << moldable::util::fmt(result.queue_max * 1e3)
+            << " ms (shard pickup, shared by all variants of an instance)\n";
+  print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
+                    result.digest());
+  for (const auto& o : result.outcomes) {
+    if (o.ok) continue;
+    std::cerr << "  instance " << o.index << " failed on every variant:\n";
+    for (const auto& a : o.attempts)
+      std::cerr << "    " << a.algorithm << ": " << a.error << "\n";
+  }
+
+  if (opt.verify &&
+      check_determinism(solver, batch, config, result.digest(), opt.threads) != 0)
+    return 1;
+  return result.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    if (!opt.portfolio.empty() && opt.algorithm_set)
+      std::cerr << "warning: --algorithm is ignored when --portfolio is given "
+                   "(add it to the portfolio list to race it)\n";
+    if (!opt.input.empty() && opt.synthetic_set)
+      std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
+                   "when --input is given (the batch comes from the files)\n";
+    const std::vector<moldable::jobs::Instance> batch =
+        opt.input.empty() ? make_synthetic_batch(opt) : load_input_batch(opt.input);
+    return opt.portfolio.empty() ? run_single(opt, batch) : run_portfolio(opt, batch);
+  } catch (const std::exception& e) {
+    std::cerr << "batch_service: " << e.what() << "\n";
+    return 2;
+  }
 }

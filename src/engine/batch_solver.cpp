@@ -1,12 +1,11 @@
 #include "src/engine/batch_solver.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <map>
 #include <stdexcept>
 #include <thread>
 
+#include "src/engine/digest_util.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
@@ -14,34 +13,15 @@ namespace moldable::engine {
 
 namespace {
 
-/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
-double percentile_sorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const std::size_t idx =
-      std::min(sorted.size() - 1, static_cast<std::size_t>(std::max(1.0, rank)) - 1);
-  return sorted[idx];
-}
-
-void fnv1a_mix(std::uint64_t& h, const void* data, std::size_t len) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
-  }
-}
-
-void fnv1a_mix_double(std::uint64_t& h, double v) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  fnv1a_mix(h, &bits, sizeof(bits));
-}
+using detail::fnv1a_mix;
+using detail::fnv1a_mix_double;
+using detail::percentile_sorted;
 
 std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcomes) {
   struct Bucket {
     std::vector<double> ratios;
     std::vector<double> walls;
+    std::vector<double> queues;
     std::size_t failed = 0;
   };
   std::map<std::string, Bucket> buckets;  // sorted by name for free
@@ -53,6 +33,7 @@ std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcom
     }
     b.ratios.push_back(o.ratio);
     b.walls.push_back(o.wall_seconds);
+    b.queues.push_back(o.queue_seconds);
   }
 
   std::vector<AlgorithmStats> out;
@@ -77,6 +58,11 @@ std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcom
       s.wall_p90 = percentile_sorted(b.walls, 90);
       s.wall_p99 = percentile_sorted(b.walls, 99);
       s.wall_max = b.walls.back();
+      std::sort(b.queues.begin(), b.queues.end());
+      s.queue_p50 = percentile_sorted(b.queues, 50);
+      s.queue_p90 = percentile_sorted(b.queues, 90);
+      s.queue_p99 = percentile_sorted(b.queues, 99);
+      s.queue_max = b.queues.back();
     }
     out.push_back(std::move(s));
   }
@@ -86,7 +72,7 @@ std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcom
 }  // namespace
 
 std::uint64_t BatchResult::digest() const {
-  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  std::uint64_t h = detail::kFnvOffsetBasis;
   for (const InstanceOutcome& o : outcomes) {
     fnv1a_mix(h, &o.index, sizeof(o.index));
     const unsigned char ok = o.ok ? 1 : 0;
@@ -119,12 +105,13 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
   unsigned threads = config.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
 
-  util::Timer batch_timer;
+  util::Timer batch_timer;  // anchors both the queue split and the batch wall
   util::parallel_for(
       batch.size(),
       [&](std::size_t i) {
         InstanceOutcome& out = result.outcomes[i];
         out.index = i;
+        out.queue_seconds = batch_timer.seconds();
         util::Timer item_timer;
         try {
           const core::ScheduleResult r = solver(batch[i], solver_config);

@@ -23,6 +23,7 @@
 
 namespace moldable::engine {
 
+/// Per-batch solver selection and execution knobs.
 struct BatchConfig {
   std::string algorithm = "auto";  ///< registry name to run on every instance
   double eps = 0.1;                ///< approximation parameter, in (0, 1]
@@ -30,6 +31,13 @@ struct BatchConfig {
 };
 
 /// Outcome for one instance of the batch, index-aligned with the input.
+///
+/// Determinism: every field except the two latency fields is a pure
+/// function of (instance, config.algorithm, config.eps) — bitwise identical
+/// across runs and thread counts. `queue_seconds` and `wall_seconds` are
+/// steady-clock measurements and vary run to run. (`error` is deterministic
+/// but, like the latency fields, excluded from the digest: exception text
+/// is not part of the stability contract.)
 struct InstanceOutcome {
   std::size_t index = 0;
   bool ok = false;
@@ -40,11 +48,22 @@ struct InstanceOutcome {
   double ratio = 0;           ///< makespan / lower_bound
   double guarantee = 0;       ///< proven factor of the resolved solver
   int dual_calls = 0;
-  double wall_seconds = 0;    ///< per-instance solve time (not deterministic)
+  /// Batch submission -> this instance picked up by its worker shard
+  /// (steady clock). Under static block partitioning this is the time spent
+  /// behind earlier instances of the same shard, so on oversubscribed
+  /// machines it captures the queueing that `wall_seconds` used to conflate.
+  /// Not deterministic.
+  double queue_seconds = 0;
+  /// Pure solve (compute) time for this instance. Not deterministic.
+  double wall_seconds = 0;
 };
 
 /// Aggregate over all outcomes that resolved to one algorithm name.
-/// Percentiles are nearest-rank over the successful outcomes.
+/// Percentiles are nearest-rank over the successful outcomes. The wall
+/// percentiles measure compute only; the queue percentiles measure shard
+/// queueing only. (Per instance, queue_seconds + wall_seconds is the
+/// end-to-end latency; the percentiles of the two distributions are NOT
+/// additive — don't derive an end-to-end pXX by summing them.)
 struct AlgorithmStats {
   std::string algorithm;
   std::size_t count = 0;   ///< successful outcomes
@@ -53,8 +72,10 @@ struct AlgorithmStats {
   double ratio_p50 = 0, ratio_p90 = 0, ratio_p99 = 0, ratio_max = 0;
   double wall_total = 0;
   double wall_p50 = 0, wall_p90 = 0, wall_p99 = 0, wall_max = 0;
+  double queue_p50 = 0, queue_p90 = 0, queue_p99 = 0, queue_max = 0;
 };
 
+/// Result of one BatchSolver::solve call.
 struct BatchResult {
   std::vector<InstanceOutcome> outcomes;      ///< index-aligned with the batch
   std::vector<AlgorithmStats> per_algorithm;  ///< sorted by algorithm name
@@ -66,8 +87,14 @@ struct BatchResult {
   /// (index, ok, algorithm, makespan, lower_bound, ratio, guarantee,
   /// dual_calls). Two runs of the same batch+config produce the same digest
   /// regardless of thread count — the determinism check used by the
-  /// batch_service driver and the tests. wall_seconds is deliberately
-  /// excluded (the only non-deterministic field).
+  /// batch_service driver and the tests.
+  ///
+  /// Stability contract: stable across thread counts and repeated runs on
+  /// the same build; NOT stable across configs (algorithm/eps changes), and
+  /// not promised across compilers or libm versions (solvers do real
+  /// floating-point work). queue_seconds/wall_seconds are deliberately
+  /// excluded (the only non-deterministic fields), as is the error text of
+  /// failed outcomes (exception messages are not part of the contract).
   std::uint64_t digest() const;
 };
 

@@ -1,0 +1,41 @@
+// Shared internals of the two batch engines: the FNV-1a mixing that both
+// result digests are built from, and the nearest-rank percentile used by
+// their stats aggregation. One definition keeps the BatchSolver and
+// PortfolioSolver determinism contracts literally the same hash.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace moldable::engine::detail {
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+inline void fnv1a_mix(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+}
+
+inline void fnv1a_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv1a_mix(h, &bits, sizeof(bits));
+}
+
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(std::max(1.0, rank)) - 1);
+  return sorted[idx];
+}
+
+}  // namespace moldable::engine::detail

@@ -1,0 +1,218 @@
+#include "src/engine/portfolio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "src/engine/digest_util.hpp"
+#include "src/sched/validator.hpp"
+#include "src/util/common.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/timer.hpp"
+
+namespace moldable::engine {
+
+namespace {
+
+using detail::fnv1a_mix;
+using detail::fnv1a_mix_double;
+using detail::percentile_sorted;
+
+std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcomes,
+                                    const std::vector<std::string>& variants) {
+  std::vector<VariantStats> out(variants.size());
+  std::vector<std::vector<double>> gaps(variants.size());
+  std::vector<std::vector<double>> walls(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) out[v].algorithm = variants[v];
+
+  for (const PortfolioOutcome& o : outcomes) {
+    for (std::size_t v = 0; v < o.attempts.size(); ++v) {
+      const VariantAttempt& a = o.attempts[v];
+      VariantStats& s = out[v];
+      // Wall stats cover every attempt: a variant that burns time before
+      // failing still costs the race, and hiding that would make expensive
+      // never-winning variants look free in the stats table.
+      walls[v].push_back(a.wall_seconds);
+      if (!a.ok) {
+        ++s.failed;
+        continue;
+      }
+      ++s.solved;
+      if (a.algorithm == o.winner) ++s.wins;
+      if (o.makespan > 0) gaps[v].push_back(a.makespan / o.makespan - 1.0);
+    }
+  }
+
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    VariantStats& s = out[v];
+    if (!gaps[v].empty()) {
+      double sum = 0;
+      for (double g : gaps[v]) sum += g;
+      s.gap_mean = sum / static_cast<double>(gaps[v].size());
+      s.gap_max = *std::max_element(gaps[v].begin(), gaps[v].end());
+    }
+    if (!walls[v].empty()) {
+      std::sort(walls[v].begin(), walls[v].end());
+      for (double w : walls[v]) s.wall_total += w;
+      s.wall_p50 = percentile_sorted(walls[v], 50);
+      s.wall_p99 = percentile_sorted(walls[v], 99);
+      s.wall_max = walls[v].back();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string name = trim(spec.substr(pos, comma - pos));
+    if (name.empty())
+      throw std::invalid_argument("portfolio: empty variant name in spec '" + spec + "'");
+    if (std::find(names.begin(), names.end(), name) != names.end())
+      throw std::invalid_argument("portfolio: duplicate variant '" + name + "'");
+    names.push_back(std::move(name));
+    pos = comma + 1;
+  }
+  return names;
+}
+
+std::uint64_t PortfolioResult::digest() const {
+  std::uint64_t h = detail::kFnvOffsetBasis;
+  for (const PortfolioOutcome& o : outcomes) {
+    fnv1a_mix(h, &o.index, sizeof(o.index));
+    const unsigned char ok = o.ok ? 1 : 0;
+    fnv1a_mix(h, &ok, sizeof(ok));
+    fnv1a_mix_double(h, o.makespan);
+    fnv1a_mix_double(h, o.lower_bound);
+    fnv1a_mix_double(h, o.ratio);
+    fnv1a_mix_double(h, o.guarantee);
+    for (const VariantAttempt& a : o.attempts) {
+      fnv1a_mix(h, a.algorithm.data(), a.algorithm.size());
+      const unsigned char aok = a.ok ? 1 : 0;
+      fnv1a_mix(h, &aok, sizeof(aok));
+      fnv1a_mix_double(h, a.makespan);
+      fnv1a_mix_double(h, a.lower_bound);
+      fnv1a_mix_double(h, a.ratio);
+      fnv1a_mix_double(h, a.guarantee);
+      fnv1a_mix(h, &a.dual_calls, sizeof(a.dual_calls));
+    }
+  }
+  return h;
+}
+
+PortfolioSolver::PortfolioSolver(const AlgorithmRegistry& registry)
+    : registry_(&registry) {}
+
+PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
+                                       const PortfolioConfig& config) const {
+  if (config.variants.empty())
+    throw std::invalid_argument("portfolio: variant list is empty");
+  if (!(config.eps > 0) || config.eps > 1)
+    throw std::invalid_argument("portfolio: eps must be in (0, 1]");
+
+  // Validate and resolve in one pass, outside the worker loop (the registry
+  // reference contract). at() throws with the known-name list.
+  std::vector<const SolverFn*> solvers;
+  solvers.reserve(config.variants.size());
+  for (std::size_t v = 0; v < config.variants.size(); ++v) {
+    const SolverFn& fn = registry_->at(config.variants[v]);
+    for (std::size_t w = 0; w < v; ++w)
+      if (config.variants[w] == config.variants[v])
+        throw std::invalid_argument("portfolio: duplicate variant '" +
+                                    config.variants[v] + "'");
+    solvers.push_back(&fn);
+  }
+
+  SolverConfig solver_config;
+  solver_config.eps = config.eps;
+
+  PortfolioResult result;
+  result.outcomes.resize(batch.size());
+
+  unsigned threads = config.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  util::Timer batch_timer;  // anchors both the queue split and the batch wall
+  util::parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        PortfolioOutcome& out = result.outcomes[i];
+        out.index = i;
+        out.queue_seconds = batch_timer.seconds();
+        out.attempts.resize(config.variants.size());
+
+        // Run every variant; keep the algorithmic best (min makespan), the
+        // tightest certificate (max lower bound), and the fastest of the
+        // makespan-tied variants as the labelled winner.
+        std::size_t winner = config.variants.size();  // sentinel: none yet
+        for (std::size_t v = 0; v < config.variants.size(); ++v) {
+          VariantAttempt& a = out.attempts[v];
+          a.algorithm = config.variants[v];
+          util::Timer attempt_timer;
+          try {
+            const core::ScheduleResult r = (*solvers[v])(batch[i], solver_config);
+            const sched::ValidationResult check = sched::validate(r.schedule, batch[i]);
+            if (!check.ok)
+              throw std::runtime_error("invalid schedule: " + check.errors.front());
+            a.ok = true;
+            a.makespan = r.makespan;
+            a.lower_bound = r.lower_bound;
+            a.ratio = r.ratio_vs_lower;
+            a.guarantee = r.guarantee;
+            a.dual_calls = r.dual_calls;
+          } catch (const std::exception& e) {
+            a.ok = false;
+            a.error = e.what();
+          }
+          a.wall_seconds = attempt_timer.seconds();
+          out.compute_seconds += a.wall_seconds;
+          if (!a.ok) continue;
+
+          if (!out.ok) {
+            out.ok = true;
+            out.makespan = a.makespan;
+            out.lower_bound = a.lower_bound;
+            out.guarantee = a.guarantee;
+            winner = v;
+            continue;
+          }
+          out.lower_bound = std::max(out.lower_bound, a.lower_bound);
+          if (a.makespan < out.makespan) {
+            out.makespan = a.makespan;
+            out.guarantee = a.guarantee;
+            winner = v;
+          } else if (a.makespan == out.makespan) {
+            out.guarantee = std::min(out.guarantee, a.guarantee);
+            if (a.wall_seconds < out.attempts[winner].wall_seconds) winner = v;
+          }
+        }
+        if (out.ok) {
+          out.winner = config.variants[winner];
+          // Same convention as core::ScheduleResult: a degenerate zero lower
+          // bound (e.g. a zero-job instance) reports ratio 1, keeping the
+          // single-variant portfolio bitwise equal to BatchSolver.
+          out.ratio = out.lower_bound > 0 ? out.makespan / out.lower_bound : 1;
+        }
+      },
+      threads);
+  result.wall_seconds = batch_timer.seconds();
+
+  for (const PortfolioOutcome& o : result.outcomes)
+    (o.ok ? result.solved : result.failed)++;
+  result.per_variant = aggregate(result.outcomes, config.variants);
+
+  std::vector<double> queues;
+  queues.reserve(result.outcomes.size());
+  for (const PortfolioOutcome& o : result.outcomes) queues.push_back(o.queue_seconds);
+  std::sort(queues.begin(), queues.end());
+  result.queue_p50 = percentile_sorted(queues, 50);
+  result.queue_p99 = percentile_sorted(queues, 99);
+  result.queue_max = queues.empty() ? 0 : queues.back();
+  return result;
+}
+
+}  // namespace moldable::engine

@@ -1,0 +1,132 @@
+// PortfolioSolver: race several registry variants per instance, keep the best.
+//
+// For every instance of a batch, each configured variant is run in sequence
+// inside the instance's worker shard (the batch is still sharded across
+// threads; the race is per instance, not per variant, so the shard layout
+// matches BatchSolver and the determinism argument is unchanged). The
+// portfolio keeps the best *valid* schedule per instance — validity is
+// re-checked with sched::validate, not just assumed from solver success —
+// and combines the variants' certificates:
+//
+//   * makespan     = min over successful variants (the kept schedule's),
+//   * lower_bound  = max over successful variants (each bound is
+//                    independently certified, so the max certifies too),
+//   * ratio        = makespan / lower_bound (tighter than any single
+//                    variant's self-reported ratio),
+//   * guarantee    = min proven factor among the variants that achieved the
+//                    best makespan.
+//
+// All four are pure functions of (batch, variants, eps) and enter the
+// digest. The *winner name* is tie-broken by makespan, then wall time, then
+// portfolio order: wall time is measured, so under an exact makespan tie the
+// winner label (and the per-variant win counts derived from it) may differ
+// between runs. Winner identity and all wall/queue fields are therefore
+// excluded from the digest — see PortfolioResult::digest().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/registry.hpp"
+#include "src/jobs/instance.hpp"
+
+namespace moldable::engine {
+
+/// Parses a comma-separated variant list ("fptas,mrt,lt-2approx") into
+/// names, trimming surrounding whitespace. Throws std::invalid_argument for
+/// an empty spec, an empty element, or a duplicate name. Names are NOT
+/// checked against a registry here — PortfolioSolver::solve does that up
+/// front so the error carries the known-name list.
+std::vector<std::string> parse_portfolio_spec(const std::string& spec);
+
+struct PortfolioConfig {
+  std::vector<std::string> variants;  ///< registry names to race, in order
+  double eps = 0.1;                   ///< approximation parameter, in (0, 1]
+  unsigned threads = 0;               ///< worker threads; 0 = hardware concurrency
+};
+
+/// One variant's run on one instance. Every field except wall_seconds is
+/// deterministic; the digest covers the deterministic fields minus `error`
+/// (exception text is not part of the stability contract).
+struct VariantAttempt {
+  std::string algorithm;
+  bool ok = false;
+  std::string error;  ///< solver exception or validator message when !ok
+  double makespan = 0;
+  double lower_bound = 0;
+  double ratio = 0;
+  double guarantee = 0;
+  int dual_calls = 0;
+  double wall_seconds = 0;  ///< this variant's compute time (not deterministic)
+};
+
+/// Combined outcome for one instance, index-aligned with the batch.
+struct PortfolioOutcome {
+  std::size_t index = 0;
+  bool ok = false;      ///< at least one variant produced a valid schedule
+  std::string winner;   ///< best variant (makespan, then wall, then order)
+  double makespan = 0;      ///< best makespan across successful variants
+  double lower_bound = 0;   ///< best (max) certified lower bound
+  double ratio = 0;         ///< makespan / lower_bound
+  double guarantee = 0;     ///< min proven factor among makespan-best variants
+  double queue_seconds = 0;    ///< batch start -> shard pickup (not deterministic)
+  double compute_seconds = 0;  ///< sum of variant walls (the cost of racing)
+  std::vector<VariantAttempt> attempts;  ///< one per variant, portfolio order
+};
+
+/// Aggregate over one variant across the whole batch.
+struct VariantStats {
+  std::string algorithm;
+  std::size_t wins = 0;    ///< instances where this variant was the winner
+  std::size_t solved = 0;  ///< successful (valid-schedule) attempts
+  std::size_t failed = 0;
+  /// Quality gap of a successful attempt: makespan / best_makespan - 1,
+  /// i.e. how far behind the per-instance winner this variant was (0 when it
+  /// matched the best). Mean/max over its successful attempts.
+  double gap_mean = 0;
+  double gap_max = 0;
+  /// Wall stats cover ALL attempts, failed ones included — a variant that
+  /// burns compute before throwing still costs the race.
+  double wall_total = 0;
+  double wall_p50 = 0, wall_p99 = 0, wall_max = 0;
+};
+
+struct PortfolioResult {
+  std::vector<PortfolioOutcome> outcomes;   ///< index-aligned with the batch
+  std::vector<VariantStats> per_variant;    ///< portfolio order
+  std::size_t solved = 0;  ///< instances with at least one valid schedule
+  std::size_t failed = 0;  ///< instances where every variant failed
+  double wall_seconds = 0;  ///< whole-batch wall clock
+  /// Batch-level shard-pickup latency percentiles over all outcomes (queue
+  /// time is a property of the instance's shard slot, shared by every
+  /// variant raced on it). Not deterministic, excluded from the digest.
+  double queue_p50 = 0, queue_p99 = 0, queue_max = 0;
+
+  /// FNV-1a over the deterministic fields, batch order: per outcome
+  /// (index, ok, makespan, lower_bound, ratio, guarantee) and per attempt
+  /// (algorithm, ok, makespan, lower_bound, ratio, guarantee, dual_calls).
+  /// Winner names, win counts, and all wall/queue fields are excluded —
+  /// they may legitimately differ between runs (see file comment). Equal
+  /// across thread counts for the same batch + config.
+  std::uint64_t digest() const;
+};
+
+class PortfolioSolver {
+ public:
+  /// The registry must outlive the solver (the global registry always does).
+  explicit PortfolioSolver(const AlgorithmRegistry& registry = AlgorithmRegistry::global());
+
+  /// Races config.variants on every instance. Throws std::invalid_argument
+  /// up front when the variant list is empty, contains an unknown or
+  /// duplicate name, or eps is out of range; per-instance solver errors are
+  /// recorded in the outcomes instead of thrown. A single-variant portfolio
+  /// degenerates to BatchSolver semantics (same makespans, bounds, ratios).
+  PortfolioResult solve(const std::vector<jobs::Instance>& batch,
+                        const PortfolioConfig& config) const;
+
+ private:
+  const AlgorithmRegistry* registry_;
+};
+
+}  // namespace moldable::engine

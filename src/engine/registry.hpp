@@ -33,9 +33,24 @@ struct SolverConfig {
   double eps = 0.1;  ///< approximation parameter, in (0, 1]
 };
 
+/// A registered solver variant: maps (instance, config) to a ScheduleResult,
+/// reporting failure by throwing (std::exception derivatives only).
+///
+/// Contract required by the batch/portfolio engines:
+///   * pure — the result is a function of the arguments alone (no hidden
+///     state, no randomness, no wall-clock dependence); this is what makes
+///     the engines' digests stable across thread counts;
+///   * thread-compatible — concurrent calls on distinct instances are safe
+///     (all built-ins are; custom variants must not share mutable state);
+///   * certified — `lower_bound` must be a valid lower bound on OPT and the
+///     returned schedule must pass sched::validate (portfolio mode
+///     re-checks and demotes violations to per-instance failures).
 using SolverFn =
     std::function<core::ScheduleResult(const jobs::Instance&, const SolverConfig&)>;
 
+/// Name -> SolverFn map behind the engines' run-time solver selection.
+/// See the file comment for the built-in names. Lookup is O(log n); batch
+/// callers resolve once outside their worker loops.
 class AlgorithmRegistry {
  public:
   /// Empty registry (for tests / custom variant sets).

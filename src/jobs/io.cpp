@@ -1,5 +1,7 @@
 #include "src/jobs/io.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -9,16 +11,30 @@ namespace moldable::jobs {
 
 namespace {
 
+/// Distinct from plain std::invalid_argument so the oracle-constructor
+/// catch below can tell an already-located parse error from a raw oracle
+/// validation error (and not wrap the line prefix twice).
+struct ParseError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
 void fail(std::size_t line, const std::string& msg) {
-  throw std::invalid_argument("instance parse error, line " + std::to_string(line) +
-                              ": " + msg);
+  throw ParseError("instance parse error, line " + std::to_string(line) + ": " + msg);
 }
 
 }  // namespace
 
 void write_instance(std::ostream& os, const Instance& instance) {
+  // The name directive is one line and the reader trims it, so the writer
+  // canonicalizes: line breaks are unrepresentable (throw, before anything
+  // is written so a failed save leaves no partial output), surrounding
+  // whitespace is dropped, and a whitespace-only name means unnamed. The
+  // written form always round-trips to itself.
+  if (instance.name().find('\n') != std::string::npos)
+    throw std::invalid_argument("write_instance: instance name contains a line break");
+  const std::string name = trim(instance.name());
   os << "moldable-instance v1\n";
-  if (!instance.name().empty()) os << "# " << instance.name() << "\n";
+  if (!name.empty()) os << "name " << name << "\n";
   os << "machines " << instance.machines() << "\n";
   os.precision(17);
   for (const Job& job : instance.jobs()) {
@@ -54,7 +70,7 @@ std::string to_text(const Instance& instance) {
   return ss.str();
 }
 
-Instance read_instance(std::istream& is) {
+Instance read_instance(std::istream& is, std::string default_name) {
   std::string line;
   std::size_t lineno = 0;
   auto next_meaningful = [&](std::string& out) {
@@ -74,6 +90,20 @@ Instance read_instance(std::istream& is) {
 
   std::string mline;
   if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
+
+  // Optional 'name <instance name>' directive (rest of line, trimmed).
+  std::string instance_name = std::move(default_name);
+  {
+    std::istringstream ns(mline);
+    std::string kw;
+    if ((ns >> kw) && kw == "name") {
+      std::getline(ns, instance_name);
+      instance_name = trim(instance_name);
+      if (instance_name.empty()) fail(lineno, "'name' directive with no name");
+      if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
+    }
+  }
+
   std::istringstream ms(mline);
   std::string kw;
   procs_t m = 0;
@@ -126,6 +156,8 @@ Instance read_instance(std::istream& is) {
       } else {
         fail(lineno, "unknown job kind '" + kind + "'");
       }
+    } catch (const ParseError&) {
+      throw;
     } catch (const std::invalid_argument& e) {
       fail(lineno, e.what());
     }
@@ -133,7 +165,7 @@ Instance read_instance(std::istream& is) {
     js >> name;  // optional trailing name
     jv.emplace_back(std::move(f), m, name);
   }
-  return Instance(std::move(jv), m);
+  return Instance(std::move(jv), m, std::move(instance_name));
 }
 
 Instance from_text(const std::string& text) {
@@ -142,16 +174,69 @@ Instance from_text(const std::string& text) {
 }
 
 void save_instance(const std::string& path, const Instance& instance) {
+  // Serialize (and validate) before opening: ofstream truncates on open, so
+  // a validation throw after that point would destroy an existing file.
+  const std::string text = to_text(instance);
   std::ofstream os(path);
   if (!os) throw std::runtime_error("save_instance: cannot open " + path);
-  write_instance(os, instance);
+  os << text;
+  os.flush();  // surface buffered-write errors (ENOSPC) here, not in ~ofstream
   if (!os) throw std::runtime_error("save_instance: write failed for " + path);
 }
 
-Instance load_instance(const std::string& path) {
+Instance load_instance(const std::string& path, std::string default_name) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_instance: cannot open " + path);
-  return read_instance(is);
+  return read_instance(is, std::move(default_name));
+}
+
+DirectoryLoad load_instances_from_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    throw std::runtime_error("load_instances_from_dir: not a directory: " + dir);
+
+  // Non-throwing stat: an unreadable entry (EACCES on a network mount, a
+  // dangling overlay inode) is recorded and skipped, never aborts the load.
+  std::vector<fs::path> paths;
+  std::vector<LoadedFile> unstatable;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::error_code entry_ec;
+    const bool regular = entry.is_regular_file(entry_ec);
+    if (entry_ec) {
+      LoadedFile record;
+      record.path = entry.path().string();
+      record.error = "cannot stat: " + entry_ec.message();
+      unstatable.push_back(std::move(record));
+    } else if (regular) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  DirectoryLoad out;
+  out.files.reserve(paths.size() + unstatable.size());
+  for (LoadedFile& record : unstatable) {
+    out.files.push_back(std::move(record));
+    ++out.skipped;
+  }
+  for (const fs::path& path : paths) {
+    LoadedFile record;
+    record.path = path.string();
+    try {
+      out.instances.push_back(load_instance(record.path, path.stem().string()));
+      record.ok = true;
+      ++out.loaded;
+    } catch (const std::exception& e) {
+      record.ok = false;
+      record.error = e.what();
+      ++out.skipped;
+    }
+    out.files.push_back(std::move(record));
+  }
+  std::sort(out.files.begin(), out.files.end(),
+            [](const LoadedFile& a, const LoadedFile& b) { return a.path < b.path; });
+  return out;
 }
 
 }  // namespace moldable::jobs

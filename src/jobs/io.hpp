@@ -3,6 +3,7 @@
 // Line-oriented format (comments start with '#'):
 //
 //   moldable-instance v1
+//   name <instance name>                    (optional, rest of line)
 //   machines <m>
 //   job amdahl   <t1> <fraction>            [name]
 //   job powerlaw <t1> <alpha>               [name]
@@ -14,6 +15,11 @@
 // Closed-form jobs serialize in O(1) space regardless of m — exactly the
 // encoding regime the paper's algorithms target. Table jobs are Theta(m)
 // by nature and require k == m.
+//
+// The `name` directive is an additive, optional extension of v1: files
+// without it parse exactly as before (earlier writers emitted the name only
+// as a comment, which was never parsed back), so the version token is
+// unchanged. Readers predating the directive reject files that use it.
 #pragma once
 
 #include <iosfwd>
@@ -31,10 +37,39 @@ void write_instance(std::ostream& os, const Instance& instance);
 /// Parses the format; throws std::invalid_argument with a line-numbered
 /// message on any syntax or validation error.
 Instance from_text(const std::string& text);
-Instance read_instance(std::istream& is);
+/// Like from_text, but streaming; `default_name` (also on load_instance
+/// below) is used as the instance name when the text carries no `name`
+/// directive.
+Instance read_instance(std::istream& is, std::string default_name = {});
 
 /// File convenience wrappers (throw std::runtime_error on I/O failure).
 void save_instance(const std::string& path, const Instance& instance);
-Instance load_instance(const std::string& path);
+Instance load_instance(const std::string& path, std::string default_name = {});
+
+/// Per-file record of a directory load, in deterministic (sorted-path)
+/// order. Exactly the ok files appear in DirectoryLoad::instances, in the
+/// same relative order.
+struct LoadedFile {
+  std::string path;
+  bool ok = false;
+  std::string error;  ///< parse/I-O diagnostic when !ok
+};
+
+/// Result of load_instances_from_dir: the parsed instances plus a per-file
+/// audit trail (replay drivers print the errors and carry on).
+struct DirectoryLoad {
+  std::vector<Instance> instances;  ///< parse-ok files, sorted-path order
+  std::vector<LoadedFile> files;    ///< every regular file seen, same order
+  std::size_t loaded = 0;           ///< files.size() with ok == true
+  std::size_t skipped = 0;          ///< files.size() with ok == false
+};
+
+/// Loads every regular file of `dir` (non-recursive, lexicographically
+/// sorted by path so replay batches are deterministic) as a moldable
+/// instance. A file that fails to parse is skipped and recorded with its
+/// diagnostic — one bad file never aborts the load. Instances with no
+/// inline name get the file's stem as their name. Throws std::runtime_error
+/// when `dir` does not exist or is not a directory.
+DirectoryLoad load_instances_from_dir(const std::string& dir);
 
 }  // namespace moldable::jobs

@@ -46,4 +46,15 @@ inline void check_invariant(bool cond, const char* msg) {
   if (!cond) throw internal_error(msg);
 }
 
+/// Strips surrounding spaces, tabs, and carriage returns (one rule for
+/// every text surface — instance files may be CRLF, CLI specs may be
+/// space-padded; all trimming in the repo goes through here so the
+/// canonicalization cannot drift between parser and writer).
+inline std::string trim(const std::string& s) {
+  const auto lo = s.find_first_not_of(" \t\r");
+  if (lo == std::string::npos) return {};
+  const auto hi = s.find_last_not_of(" \t\r");
+  return s.substr(lo, hi - lo + 1);
+}
+
 }  // namespace moldable

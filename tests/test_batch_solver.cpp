@@ -199,5 +199,31 @@ TEST(BatchSolver, PercentilesAreOrdered) {
   EXPECT_LE(s.wall_p50, s.wall_max);
 }
 
+TEST(BatchSolver, QueueAndComputeLatenciesAreSplit) {
+  const auto batch = small_batch(30);
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+  config.threads = 2;
+  const BatchResult r = BatchSolver().solve(batch, config);
+
+  for (const InstanceOutcome& o : r.outcomes) {
+    EXPECT_GE(o.queue_seconds, 0) << o.index;
+    EXPECT_GE(o.wall_seconds, 0) << o.index;
+    // Pickup + compute cannot exceed the whole-batch wall clock.
+    EXPECT_LE(o.queue_seconds, r.wall_seconds + 1e-6) << o.index;
+  }
+  ASSERT_EQ(r.per_algorithm.size(), 1u);
+  const AlgorithmStats& s = r.per_algorithm[0];
+  EXPECT_LE(s.queue_p50, s.queue_p90);
+  EXPECT_LE(s.queue_p90, s.queue_p99);
+  EXPECT_LE(s.queue_p99, s.queue_max);
+  // On 2 threads over 30 instances some instance queues behind its shard.
+  EXPECT_GT(s.queue_max, 0);
+
+  // The latency fields must not leak into the digest: same batch + config
+  // re-solved gives the same digest even though timings differ.
+  EXPECT_EQ(r.digest(), BatchSolver().solve(batch, config).digest());
+}
+
 }  // namespace
 }  // namespace moldable::engine

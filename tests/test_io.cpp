@@ -2,7 +2,11 @@
 // compact-encoding property (closed-form jobs serialize in O(1) space).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
@@ -56,10 +60,41 @@ TEST(Io, NamesSurviveRoundTrip) {
   std::vector<Job> jv;
   jv.emplace_back(std::make_shared<AmdahlTime>(10.0, 0.5), 8, "alpha");
   jv.emplace_back(std::make_shared<PowerLawTime>(5.0, 0.7), 8, "beta");
-  const Instance inst(std::move(jv), 8);
+  const Instance inst(std::move(jv), 8, "my instance name");
   const Instance back = from_text(to_text(inst));
+  EXPECT_EQ(back.name(), "my instance name");
   EXPECT_EQ(back.job(0).name(), "alpha");
   EXPECT_EQ(back.job(1).name(), "beta");
+}
+
+TEST(Io, NameDirectiveIsOptionalAndValidated) {
+  const Instance anon = from_text("moldable-instance v1\nmachines 4\njob amdahl 1 0.5\n");
+  EXPECT_TRUE(anon.name().empty());
+  EXPECT_THROW(from_text("moldable-instance v1\nname \nmachines 4\n"),
+               std::invalid_argument);
+  // CRLF files: a bare directive is still an error, not a "\r" name.
+  EXPECT_THROW(from_text("moldable-instance v1\r\nname \r\nmachines 4\r\n"),
+               std::invalid_argument);
+  const Instance crlf =
+      from_text("moldable-instance v1\r\nname web pool\r\nmachines 4\r\njob amdahl 1 0.5\r\n");
+  EXPECT_EQ(crlf.name(), "web pool");
+}
+
+TEST(Io, WriterRejectsOrOmitsUnparseableNames) {
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<AmdahlTime>(1.0, 0.5), 4, "j");
+  const Instance newline_name({jv[0]}, 4, "web\npool");
+  EXPECT_THROW(to_text(newline_name), std::invalid_argument);
+  // A whitespace-only name would be rejected by the reader, so the writer
+  // treats it as unnamed rather than emitting a bare directive.
+  const Instance blank_name({jv[0]}, 4, "  ");
+  EXPECT_TRUE(from_text(to_text(blank_name)).name().empty());
+  // Surrounding whitespace is canonicalized away; the written form is the
+  // fixed point of the round trip.
+  const Instance padded_name({jv[0]}, 4, "  web pool ");
+  const Instance once = from_text(to_text(padded_name));
+  EXPECT_EQ(once.name(), "web pool");
+  EXPECT_EQ(from_text(to_text(once)).name(), "web pool");
 }
 
 TEST(Io, CommentsAndBlankLinesIgnored) {
@@ -102,6 +137,93 @@ TEST(Io, FileRoundTrip) {
   expect_equivalent(inst, back);
   std::remove(path.c_str());
   EXPECT_THROW(load_instance("/nonexistent/dir/x.inst"), std::runtime_error);
+}
+
+class DirLoad : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // PID-unique so concurrent runs of this binary on one host (parallel CI
+    // jobs, two build trees) cannot clobber each other's fixture files.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("moldable_dirload_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& file) const { return (dir_ / file).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DirLoad, RoundTripsWrittenInstancesInSortedOrder) {
+  const Instance a = make_instance(Family::kAmdahl, 6, 128, 11);
+  const Instance b = make_instance(Family::kPowerLaw, 6, 128, 12);
+  save_instance(path("b_second.inst"), b);
+  save_instance(path("a_first.inst"), a);
+
+  const DirectoryLoad load = load_instances_from_dir(dir_.string());
+  EXPECT_EQ(load.loaded, 2u);
+  EXPECT_EQ(load.skipped, 0u);
+  ASSERT_EQ(load.instances.size(), 2u);
+  expect_equivalent(load.instances[0], a);  // sorted by path, not write order
+  expect_equivalent(load.instances[1], b);
+  // Generator instances carry an inline name, which round-trips.
+  EXPECT_EQ(load.instances[0].name(), a.name());
+  EXPECT_EQ(load.instances[1].name(), b.name());
+}
+
+TEST_F(DirLoad, NamelessFileGetsStemName) {
+  std::ofstream(path("anon.inst")) << "moldable-instance v1\nmachines 8\n"
+                                      "job amdahl 10 0.5\n";
+  const DirectoryLoad load = load_instances_from_dir(dir_.string());
+  ASSERT_EQ(load.instances.size(), 1u);
+  EXPECT_EQ(load.instances[0].name(), "anon");
+}
+
+TEST_F(DirLoad, MalformedFileIsSkippedWithDiagnostic) {
+  save_instance(path("good.inst"), make_instance(Family::kMixed, 5, 64, 3));
+  std::ofstream(path("bad.inst")) << "moldable-instance v1\nmachines 4\njob bogus 1\n";
+
+  const DirectoryLoad load = load_instances_from_dir(dir_.string());
+  EXPECT_EQ(load.loaded, 1u);
+  EXPECT_EQ(load.skipped, 1u);
+  ASSERT_EQ(load.instances.size(), 1u);
+  ASSERT_EQ(load.files.size(), 2u);
+  EXPECT_FALSE(load.files[0].ok);  // bad.inst sorts first
+  EXPECT_NE(load.files[0].error.find("unknown job kind"), std::string::npos)
+      << load.files[0].error;
+  EXPECT_TRUE(load.files[1].ok);
+  EXPECT_TRUE(load.files[1].error.empty());
+}
+
+TEST_F(DirLoad, EmptyDirectoryLoadsNothing) {
+  const DirectoryLoad load = load_instances_from_dir(dir_.string());
+  EXPECT_TRUE(load.instances.empty());
+  EXPECT_TRUE(load.files.empty());
+  EXPECT_EQ(load.loaded, 0u);
+  EXPECT_EQ(load.skipped, 0u);
+}
+
+TEST_F(DirLoad, FailedSaveDoesNotClobberExistingFile) {
+  const Instance good = make_instance(Family::kAmdahl, 3, 16, 9);
+  save_instance(path("keep.inst"), good);
+  std::vector<Job> jv;
+  jv.emplace_back(std::make_shared<AmdahlTime>(1.0, 0.5), 16, "j");
+  const Instance bad_name(std::move(jv), 16, "web\npool");
+  EXPECT_THROW(save_instance(path("keep.inst"), bad_name), std::invalid_argument);
+  expect_equivalent(load_instance(path("keep.inst")), good);  // untouched
+}
+
+TEST(Io, LoadDirRejectsMissingOrNonDirectory) {
+  EXPECT_THROW(load_instances_from_dir("/nonexistent/moldable/dir"), std::runtime_error);
+  const std::string file =
+      std::filesystem::temp_directory_path() /
+      ("moldable_not_a_dir_" + std::to_string(::getpid()));
+  std::ofstream(file) << "x";
+  EXPECT_THROW(load_instances_from_dir(file), std::runtime_error);
+  std::remove(file.c_str());
 }
 
 TEST(Io, RigidJobsRoundTrip) {

@@ -1,0 +1,252 @@
+// Portfolio-engine tests: spec parsing, the combined-certificate semantics
+// (min makespan / max lower bound), winner selection determinism across
+// thread counts, all-variants-fail isolation, and the single-variant
+// degeneration to plain BatchSolver behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/engine/batch_solver.hpp"
+#include "src/engine/portfolio.hpp"
+#include "src/jobs/generators.hpp"
+
+namespace moldable::engine {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+std::vector<Instance> small_batch(std::size_t count, procs_t m = 64) {
+  std::vector<Instance> batch;
+  const auto families = jobs::all_families();
+  for (std::size_t i = 0; i < count; ++i)
+    batch.push_back(make_instance(families[i % families.size()], 16, m, 100 + i));
+  return batch;
+}
+
+TEST(PortfolioSpec, ParsesAndTrims) {
+  EXPECT_EQ(parse_portfolio_spec("fptas,mrt"),
+            (std::vector<std::string>{"fptas", "mrt"}));
+  EXPECT_EQ(parse_portfolio_spec(" fptas ,\tmrt , lt-2approx"),
+            (std::vector<std::string>{"fptas", "mrt", "lt-2approx"}));
+  EXPECT_EQ(parse_portfolio_spec("auto"), (std::vector<std::string>{"auto"}));
+}
+
+TEST(PortfolioSpec, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(parse_portfolio_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_portfolio_spec("fptas,,mrt"), std::invalid_argument);
+  EXPECT_THROW(parse_portfolio_spec("fptas,"), std::invalid_argument);
+  EXPECT_THROW(parse_portfolio_spec("mrt,mrt"), std::invalid_argument);
+}
+
+TEST(PortfolioSolver, InvalidConfigThrowsUpFront) {
+  const auto batch = small_batch(2);
+  PortfolioConfig empty;
+  EXPECT_THROW(PortfolioSolver().solve(batch, empty), std::invalid_argument);
+
+  PortfolioConfig unknown;
+  unknown.variants = {"mrt", "no-such-solver"};
+  try {
+    PortfolioSolver().solve(batch, unknown);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("known:"), std::string::npos);
+  }
+
+  PortfolioConfig duplicate;
+  duplicate.variants = {"mrt", "mrt"};
+  EXPECT_THROW(PortfolioSolver().solve(batch, duplicate), std::invalid_argument);
+
+  PortfolioConfig bad_eps;
+  bad_eps.variants = {"mrt"};
+  bad_eps.eps = 0;
+  EXPECT_THROW(PortfolioSolver().solve(batch, bad_eps), std::invalid_argument);
+}
+
+TEST(PortfolioSolver, SingleVariantDegeneratesToBatchSolver) {
+  const auto batch = small_batch(12);
+  PortfolioConfig pc;
+  pc.variants = {"algorithm1"};
+  pc.eps = 0.25;
+  const PortfolioResult p = PortfolioSolver().solve(batch, pc);
+
+  BatchConfig bc;
+  bc.algorithm = "algorithm1";
+  bc.eps = 0.25;
+  const BatchResult b = BatchSolver().solve(batch, bc);
+
+  ASSERT_EQ(p.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < p.outcomes.size(); ++i) {
+    ASSERT_TRUE(p.outcomes[i].ok) << i;
+    EXPECT_EQ(p.outcomes[i].winner, "algorithm1");
+    EXPECT_DOUBLE_EQ(p.outcomes[i].makespan, b.outcomes[i].makespan);
+    EXPECT_DOUBLE_EQ(p.outcomes[i].lower_bound, b.outcomes[i].lower_bound);
+    EXPECT_DOUBLE_EQ(p.outcomes[i].ratio, b.outcomes[i].ratio);
+    EXPECT_DOUBLE_EQ(p.outcomes[i].guarantee, b.outcomes[i].guarantee);
+  }
+  ASSERT_EQ(p.per_variant.size(), 1u);
+  EXPECT_EQ(p.per_variant[0].wins, p.solved);
+  EXPECT_EQ(p.per_variant[0].solved, p.solved);
+  EXPECT_DOUBLE_EQ(p.per_variant[0].gap_mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.per_variant[0].gap_max, 0.0);
+}
+
+TEST(PortfolioSolver, CombinedCertificateIsAtLeastAsTightAsEveryVariant) {
+  const auto batch = small_batch(18);
+  PortfolioConfig pc;
+  pc.variants = {"mrt", "algorithm1", "lt-2approx"};
+  pc.eps = 0.3;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  EXPECT_EQ(r.solved, batch.size());
+
+  for (const PortfolioOutcome& o : r.outcomes) {
+    ASSERT_TRUE(o.ok) << o.index;
+    ASSERT_EQ(o.attempts.size(), 3u);
+    bool winner_attains_best = false;
+    for (const VariantAttempt& a : o.attempts) {
+      if (!a.ok) continue;
+      EXPECT_LE(o.makespan, a.makespan) << o.index << " " << a.algorithm;
+      EXPECT_GE(o.lower_bound, a.lower_bound) << o.index << " " << a.algorithm;
+      EXPECT_LE(o.ratio, a.ratio + 1e-12) << o.index << " " << a.algorithm;
+      if (a.algorithm == o.winner) {
+        winner_attains_best = a.makespan == o.makespan;
+        EXPECT_GE(o.guarantee, 0);
+        EXPECT_LE(o.guarantee, a.guarantee);
+      }
+    }
+    EXPECT_TRUE(winner_attains_best) << o.index;
+    EXPECT_GE(o.ratio, 1.0 - 1e-9) << o.index;
+  }
+}
+
+TEST(PortfolioSolver, DeterministicAcrossThreadCounts) {
+  const auto batch = small_batch(24);
+  PortfolioConfig serial;
+  serial.variants = {"mrt", "algorithm3-linear", "lt-2approx"};
+  serial.threads = 1;
+  PortfolioConfig parallel = serial;
+  parallel.threads = 5;
+
+  const PortfolioResult a = PortfolioSolver().solve(batch, serial);
+  const PortfolioResult b = PortfolioSolver().solve(batch, parallel);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.digest(), PortfolioSolver().solve(batch, serial).digest());
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const PortfolioOutcome& x = a.outcomes[i];
+    const PortfolioOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.ok, y.ok);
+    EXPECT_DOUBLE_EQ(x.makespan, y.makespan);
+    EXPECT_DOUBLE_EQ(x.lower_bound, y.lower_bound);
+    EXPECT_DOUBLE_EQ(x.ratio, y.ratio);
+    EXPECT_DOUBLE_EQ(x.guarantee, y.guarantee);
+    // Winner identity is deterministic whenever the best makespan is
+    // attained by exactly one variant (wall time only breaks exact ties).
+    std::size_t best_count = 0;
+    for (const VariantAttempt& att : x.attempts)
+      if (att.ok && att.makespan == x.makespan) ++best_count;
+    if (best_count == 1) {
+      EXPECT_EQ(x.winner, y.winner) << i;
+    }
+    ASSERT_EQ(x.attempts.size(), y.attempts.size());
+    for (std::size_t v = 0; v < x.attempts.size(); ++v) {
+      EXPECT_EQ(x.attempts[v].ok, y.attempts[v].ok);
+      EXPECT_DOUBLE_EQ(x.attempts[v].makespan, y.attempts[v].makespan);
+      EXPECT_DOUBLE_EQ(x.attempts[v].lower_bound, y.attempts[v].lower_bound);
+    }
+  }
+}
+
+TEST(PortfolioSolver, AllVariantsFailIsIsolatedToTheOffendingInstance) {
+  // `exact` hard-caps at tiny instances and `fptas` requires a large machine
+  // count relative to n: the middle instance violates both, so every variant
+  // fails on it, while its neighbours solve via `exact`.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 21));
+  batch.push_back(make_instance(Family::kMixed, 40, 64, 22));  // over both caps
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 23));
+  PortfolioConfig pc;
+  pc.variants = {"exact", "fptas"};
+  pc.eps = 0.5;
+  pc.threads = 2;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  EXPECT_EQ(r.solved, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_TRUE(r.outcomes[0].ok);
+  EXPECT_FALSE(r.outcomes[1].ok);
+  EXPECT_TRUE(r.outcomes[1].winner.empty());
+  for (const VariantAttempt& a : r.outcomes[1].attempts) {
+    EXPECT_FALSE(a.ok);
+    EXPECT_FALSE(a.error.empty()) << a.algorithm;
+  }
+  EXPECT_TRUE(r.outcomes[2].ok);
+  EXPECT_EQ(r.outcomes[0].winner, "exact");
+  // fptas failed on every instance, but its racing cost is still reported.
+  ASSERT_EQ(r.per_variant.size(), 2u);
+  EXPECT_EQ(r.per_variant[1].algorithm, "fptas");
+  EXPECT_EQ(r.per_variant[1].solved, 0u);
+  EXPECT_EQ(r.per_variant[1].failed, 3u);
+  EXPECT_GT(r.per_variant[1].wall_total, 0);
+}
+
+TEST(PortfolioSolver, WinCountsAndLatencySplitAreConsistent) {
+  const auto batch = small_batch(20);
+  PortfolioConfig pc;
+  pc.variants = {"algorithm1", "lt-2approx"};
+  pc.threads = 3;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  ASSERT_EQ(r.per_variant.size(), 2u);
+
+  std::size_t wins = 0;
+  for (const VariantStats& s : r.per_variant) {
+    wins += s.wins;
+    EXPECT_LE(s.wall_p50, s.wall_p99);
+    EXPECT_LE(s.wall_p99, s.wall_max);
+    EXPECT_GE(s.gap_mean, 0);
+    EXPECT_LE(s.gap_mean, s.gap_max + 1e-12);
+  }
+  EXPECT_EQ(wins, r.solved);  // exactly one winner per solved instance
+  EXPECT_LE(r.queue_p50, r.queue_p99);
+  EXPECT_LE(r.queue_p99, r.queue_max);
+
+  for (const PortfolioOutcome& o : r.outcomes) {
+    EXPECT_GE(o.queue_seconds, 0);
+    double attempt_sum = 0;
+    for (const VariantAttempt& a : o.attempts) attempt_sum += a.wall_seconds;
+    EXPECT_DOUBLE_EQ(o.compute_seconds, attempt_sum);
+  }
+}
+
+TEST(PortfolioSolver, ZeroJobInstanceMatchesBatchSolverRatioConvention) {
+  // A zero-job instance has lower bound 0; both engines must report the
+  // core convention (ratio 1), or the single-variant equivalence breaks.
+  const std::vector<Instance> batch{Instance({}, 4, "empty")};
+  PortfolioConfig pc;
+  pc.variants = {"lt-2approx"};
+  const PortfolioResult p = PortfolioSolver().solve(batch, pc);
+  BatchConfig bc;
+  bc.algorithm = "lt-2approx";
+  const BatchResult b = BatchSolver().solve(batch, bc);
+  ASSERT_TRUE(p.outcomes[0].ok) << p.outcomes[0].attempts[0].error;
+  ASSERT_TRUE(b.outcomes[0].ok) << b.outcomes[0].error;
+  EXPECT_DOUBLE_EQ(p.outcomes[0].ratio, b.outcomes[0].ratio);
+  EXPECT_DOUBLE_EQ(p.outcomes[0].makespan, b.outcomes[0].makespan);
+}
+
+TEST(PortfolioSolver, EmptyBatch) {
+  PortfolioConfig pc;
+  pc.variants = {"mrt"};
+  const PortfolioResult r = PortfolioSolver().solve({}, pc);
+  EXPECT_TRUE(r.outcomes.empty());
+  EXPECT_EQ(r.solved, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  ASSERT_EQ(r.per_variant.size(), 1u);
+  EXPECT_EQ(r.per_variant[0].wins, 0u);
+  EXPECT_EQ(r.digest(), PortfolioSolver().solve({}, pc).digest());
+}
+
+}  // namespace
+}  // namespace moldable::engine
