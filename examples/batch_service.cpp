@@ -1,37 +1,51 @@
-// batch_service: throughput-oriented driver over the batch engine.
+// batch_service: throughput-oriented driver over the engine layer.
 //
-// Two batch sources:
+// Three batch sources:
 //   * synthetic (default): round-robin over the generator families;
 //   * --input dir/        : replay real instance files (jobs/io.hpp format);
-//                           malformed files are skipped with a diagnostic.
+//                           malformed files are skipped with a diagnostic;
+//   * --serve             : serve a continuous record stream from stdin
+//                           through engine::StreamSolver — arrival-ordered
+//                           micro-batches (--window/--max-inflight), live
+//                           per-window stats, a rolling digest, per-SLA-
+//                           class latency splits, clean drain at EOF.
 //
-// Two solve modes:
+// Two solve modes (batch and serve alike):
 //   * single solver (--algorithm A, default auto)  -> engine::BatchSolver;
 //   * portfolio     (--portfolio a,b,c)            -> engine::PortfolioSolver,
 //     racing every named variant per instance and keeping the best valid
-//     schedule (per-variant win counts and quality gaps in the stats).
+//     schedule (per-variant win counts and quality gaps in the stats;
+//     --tie-break order makes the win table reproducible under exact ties).
+//
+// --memo turns on the execution core's digest-keyed memoization: duplicate
+// instances (within a batch, or across serve windows) reuse the prior
+// outcome, with hit/miss counts reported. Digests are unchanged by design.
 //
 // Latency columns split per-instance time into queue (batch submission ->
 // shard pickup, steady clock) and compute (pure solve) so percentiles stay
 // meaningful when worker threads oversubscribe the machine.
 //
-// The result digest is a pure function of the batch and the solver config:
+// The result digest is a pure function of the input and the solver config:
 //
 //   ./batch_service --instances 100 --threads 1
 //   ./batch_service --instances 100 --threads 8
 //
-// must print the same digest; `--verify` re-solves on 1 thread in-process
+// must print the same digest — and the serve-mode rolling digest obeys the
+// same contract for a fixed input stream and window size. `--verify`
+// re-solves on 1 thread in-process (buffering stdin first in serve mode)
 // and fails loudly when the digests diverge.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/engine/batch_solver.hpp"
 #include "src/engine/portfolio.hpp"
+#include "src/engine/stream_solver.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
 #include "src/util/table.hpp"
@@ -45,6 +59,10 @@ using moldable::engine::BatchSolver;
 using moldable::engine::PortfolioConfig;
 using moldable::engine::PortfolioResult;
 using moldable::engine::PortfolioSolver;
+using moldable::engine::StreamConfig;
+using moldable::engine::StreamResult;
+using moldable::engine::StreamSolver;
+using moldable::engine::TieBreak;
 
 struct Options {
   std::size_t instances = 100;
@@ -58,8 +76,15 @@ struct Options {
   std::uint64_t seed = 42;
   bool csv = false;
   bool verify = false;
+  bool serve = false;           // stream records from stdin
+  std::size_t window = 16;      // serve: micro-batch size
+  std::size_t max_inflight = 4; // serve: reorder horizon in windows
+  bool memo = false;            // digest-keyed memoization
+  TieBreak tie_break = TieBreak::kWallTime;
   bool algorithm_set = false;  // --algorithm given explicitly
   bool synthetic_set = false;  // any of --instances/--jobs/--machines/--seed given
+  bool window_set = false;     // --window/--max-inflight given
+  bool tie_break_set = false;  // --tie-break given
 };
 
 void usage(const char* argv0) {
@@ -69,10 +94,20 @@ void usage(const char* argv0) {
             << "  --machines M    synthetic machine count (default 1024)\n"
             << "  --input DIR     replay instance files from DIR instead of\n"
             << "                  generating synthetically (bad files skipped)\n"
+            << "  --serve         serve a stream of instance records from stdin\n"
+            << "                  (concatenated io-format records) in arrival-\n"
+            << "                  ordered micro-batches; drains at EOF\n"
+            << "  --window N      serve: instances per micro-batch (default 16)\n"
+            << "  --max-inflight K  serve: reorder horizon in windows (default 4)\n"
             << "  --algorithm A   registry solver name (default auto); known:";
   for (const auto& n : AlgorithmRegistry::global().names()) std::cout << ' ' << n;
   std::cout << "\n  --portfolio A,B race the named variants per instance and\n"
             << "                  keep the best valid schedule\n"
+            << "  --tie-break M   portfolio winner under exact makespan ties:\n"
+            << "                  wall (fastest, default) or order (first in\n"
+            << "                  portfolio order — reproducible win counts)\n"
+            << "  --memo          reuse outcomes of duplicate instances\n"
+            << "                  (digest-keyed; reports hit/miss counts)\n"
             << "  --eps E         approximation parameter in (0,1] (default 0.1)\n"
             << "  --threads T     worker threads, 0 = hardware (default 0)\n"
             << "  --seed S        base RNG seed for synthetic batches (default 42)\n"
@@ -108,6 +143,20 @@ Options parse(int argc, char** argv) {
         std::cerr << "empty --input directory\n";
         std::exit(2);
       }
+    }
+    else if (arg == "--serve") opt.serve = true;
+    else if (arg == "--window") { opt.window = std::stoull(value()); opt.window_set = true; }
+    else if (arg == "--max-inflight") { opt.max_inflight = std::stoull(value()); opt.window_set = true; }
+    else if (arg == "--memo") opt.memo = true;
+    else if (arg == "--tie-break") {
+      const std::string mode = value();
+      if (mode == "wall") opt.tie_break = TieBreak::kWallTime;
+      else if (mode == "order") opt.tie_break = TieBreak::kPortfolioOrder;
+      else {
+        std::cerr << "--tie-break must be 'wall' or 'order', got '" << mode << "'\n";
+        std::exit(2);
+      }
+      opt.tie_break_set = true;
     }
     else if (arg == "--eps") opt.eps = std::stod(value());
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::stoul(value()));
@@ -154,6 +203,8 @@ std::vector<moldable::jobs::Instance> load_input_batch(const std::string& dir) {
 }
 
 /// Re-solves on 1 thread and compares digests; 0 on match, 1 on violation.
+/// (Memoization is deliberately NOT carried into the reference run: an
+/// empty-store re-solve also re-checks that memo served the right outcomes.)
 template <typename Solver, typename Config>
 int check_determinism(const Solver& solver,
                       const std::vector<moldable::jobs::Instance>& batch, Config config,
@@ -168,15 +219,23 @@ int check_determinism(const Solver& solver,
   return 0;
 }
 
+std::string fmt_digest(std::uint64_t digest) {
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(digest));
+  return hex;
+}
+
 void print_digest_line(std::size_t solved, std::size_t failed, double wall_seconds,
                        unsigned threads, std::uint64_t digest) {
-  char digest_hex[32];
-  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
-                static_cast<unsigned long long>(digest));
   std::cout << "batch: " << solved << " solved, " << failed << " failed in "
             << moldable::util::fmt(wall_seconds, 3) << " s ("
             << (threads == 0 ? std::string("hw") : std::to_string(threads))
-            << " threads)\ndigest: " << digest_hex << "\n";
+            << " threads)\ndigest: " << fmt_digest(digest) << "\n";
+}
+
+void print_memo_line(std::size_t hits, std::size_t misses) {
+  std::cout << "memo: " << hits << " hit(s), " << misses
+            << " miss(es) (duplicate instances served from the cache)\n";
 }
 
 int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& batch) {
@@ -186,12 +245,13 @@ int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& 
   config.threads = opt.threads;
 
   const BatchSolver solver;
-  const BatchResult result = solver.solve(batch, config);
+  moldable::engine::exec::MemoStore<moldable::engine::InstanceOutcome> memo;
+  const BatchResult result = solver.solve(batch, config, opt.memo ? &memo : nullptr);
 
   moldable::util::Table table({"algorithm", "solved", "failed", "ratio-mean", "ratio-p50",
                                "ratio-p90", "ratio-p99", "ratio-max", "queue-p50-ms",
-                               "queue-p99-ms", "compute-p50-ms", "compute-p99-ms",
-                               "compute-max-ms"});
+                               "queue-p99-ms", "compute-p50-ms", "compute-p90-ms",
+                               "compute-p99-ms", "compute-max-ms"});
   for (const auto& s : result.per_algorithm) {
     table.add_row({s.algorithm, std::to_string(s.count), std::to_string(s.failed),
                    moldable::util::fmt(s.ratio_mean), moldable::util::fmt(s.ratio_p50),
@@ -200,6 +260,7 @@ int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& 
                    moldable::util::fmt(s.queue_p50 * 1e3),
                    moldable::util::fmt(s.queue_p99 * 1e3),
                    moldable::util::fmt(s.wall_p50 * 1e3),
+                   moldable::util::fmt(s.wall_p90 * 1e3),
                    moldable::util::fmt(s.wall_p99 * 1e3),
                    moldable::util::fmt(s.wall_max * 1e3)});
   }
@@ -208,6 +269,7 @@ int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& 
   else
     table.print(std::cout);
 
+  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
   print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
                     result.digest());
   for (const auto& o : result.outcomes)
@@ -224,17 +286,20 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
   config.variants = moldable::engine::parse_portfolio_spec(opt.portfolio);
   config.eps = opt.eps;
   config.threads = opt.threads;
+  config.tie_break = opt.tie_break;
 
   const PortfolioSolver solver;
-  const PortfolioResult result = solver.solve(batch, config);
+  moldable::engine::exec::MemoStore<moldable::engine::PortfolioOutcome> memo;
+  const PortfolioResult result = solver.solve(batch, config, opt.memo ? &memo : nullptr);
 
   moldable::util::Table table({"variant", "wins", "solved", "failed", "gap-mean",
-                               "gap-max", "compute-p50-ms", "compute-p99-ms",
-                               "compute-total-s"});
+                               "gap-max", "compute-p50-ms", "compute-p90-ms",
+                               "compute-p99-ms", "compute-total-s"});
   for (const auto& s : result.per_variant) {
     table.add_row({s.algorithm, std::to_string(s.wins), std::to_string(s.solved),
                    std::to_string(s.failed), moldable::util::fmt(s.gap_mean),
                    moldable::util::fmt(s.gap_max), moldable::util::fmt(s.wall_p50 * 1e3),
+                   moldable::util::fmt(s.wall_p90 * 1e3),
                    moldable::util::fmt(s.wall_p99 * 1e3),
                    moldable::util::fmt(s.wall_total, 3)});
   }
@@ -250,6 +315,7 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
             << " ms, p99 " << moldable::util::fmt(result.queue_p99 * 1e3)
             << " ms, max " << moldable::util::fmt(result.queue_max * 1e3)
             << " ms (shard pickup, shared by all variants of an instance)\n";
+  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
   print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
                     result.digest());
   for (const auto& o : result.outcomes) {
@@ -265,6 +331,90 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
   return result.failed == 0 ? 0 : 1;
 }
 
+StreamConfig make_stream_config(const Options& opt) {
+  StreamConfig config;
+  config.window = opt.window;
+  config.max_inflight = opt.max_inflight;
+  config.algorithm = opt.algorithm;
+  if (!opt.portfolio.empty())
+    config.variants = moldable::engine::parse_portfolio_spec(opt.portfolio);
+  config.eps = opt.eps;
+  config.threads = opt.threads;
+  config.memo = opt.memo;
+  config.tie_break = opt.tie_break;
+  return config;
+}
+
+int run_serve(const Options& opt) {
+  const StreamConfig config = make_stream_config(opt);
+  const StreamSolver solver;
+
+  const auto on_window = [&](const moldable::engine::WindowStats& w) {
+    std::cout << "window " << w.index << ": " << w.instances << " inst, " << w.solved
+              << " solved, " << w.failed << " failed in "
+              << moldable::util::fmt(w.wall_seconds * 1e3) << " ms";
+    if (opt.memo) std::cout << ", memo " << w.memo_hits << "/" << w.memo_misses;
+    std::cout << ", rolling digest " << fmt_digest(w.rolling_digest) << "\n";
+  };
+  const auto on_error = [](const moldable::engine::StreamError& e) {
+    std::cerr << "skipping malformed record " << e.ordinal << " (stream line " << e.line
+              << "): " << e.message << "\n";
+  };
+
+  StreamResult result;
+  if (opt.verify) {
+    // stdin cannot rewind, so --verify buffers the whole stream and serves
+    // it twice in-process: once as configured, once on 1 thread.
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    const std::string text = buffer.str();
+    std::istringstream first(text);
+    result = solver.run(first, config, on_window, on_error);
+    StreamConfig reference = config;
+    reference.threads = 1;
+    std::istringstream second(text);
+    const StreamResult re = solver.run(second, reference);
+    if (re.rolling_digest != result.rolling_digest) {
+      std::cerr << "DETERMINISM VIOLATION: threads="
+                << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
+                << " rolling digest differs from threads=1\n";
+      return 1;
+    }
+    std::cout << "determinism: OK (rolling digest matches single-threaded reference)\n";
+  } else {
+    result = solver.run(std::cin, config, on_window, on_error);
+  }
+
+  std::cout << "stream: " << result.windows << " window(s), " << result.instances
+            << " instance(s) (" << result.solved << " solved, " << result.failed
+            << " failed, " << result.malformed << " malformed) in "
+            << moldable::util::fmt(result.wall_seconds, 3) << " s ("
+            << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
+            << " threads)\n";
+  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
+
+  if (!result.per_class.empty()) {
+    moldable::util::Table table({"class", "count", "solved", "failed", "queue-p50-ms",
+                                 "queue-p99-ms", "compute-p50-ms", "compute-p90-ms",
+                                 "compute-p99-ms", "compute-max-ms"});
+    for (const auto& c : result.per_class) {
+      table.add_row({c.sla_class, std::to_string(c.count), std::to_string(c.solved),
+                     std::to_string(c.failed), moldable::util::fmt(c.queue.p50 * 1e3),
+                     moldable::util::fmt(c.queue.p99 * 1e3),
+                     moldable::util::fmt(c.compute.p50 * 1e3),
+                     moldable::util::fmt(c.compute.p90 * 1e3),
+                     moldable::util::fmt(c.compute.p99 * 1e3),
+                     moldable::util::fmt(c.compute.max * 1e3)});
+    }
+    if (opt.csv)
+      table.print_csv(std::cout);
+    else
+      table.print(std::cout);
+  }
+  std::cout << "rolling digest: " << fmt_digest(result.rolling_digest) << "\n";
+  return result.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,6 +423,21 @@ int main(int argc, char** argv) {
     if (!opt.portfolio.empty() && opt.algorithm_set)
       std::cerr << "warning: --algorithm is ignored when --portfolio is given "
                    "(add it to the portfolio list to race it)\n";
+    if (opt.tie_break_set && opt.portfolio.empty())
+      std::cerr << "warning: --tie-break only affects --portfolio mode\n";
+    if (opt.serve && !opt.input.empty()) {
+      std::cerr << "--serve reads records from stdin; it cannot be combined with "
+                   "--input (pipe the files in instead: cat DIR/* | ... --serve)\n";
+      return 2;
+    }
+    if (opt.serve) {
+      if (opt.synthetic_set)
+        std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
+                     "in --serve mode (instances come from stdin)\n";
+      return run_serve(opt);
+    }
+    if (opt.window_set)
+      std::cerr << "warning: --window/--max-inflight only affect --serve mode\n";
     if (!opt.input.empty() && opt.synthetic_set)
       std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
                    "when --input is given (the batch comes from the files)\n";

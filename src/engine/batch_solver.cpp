@@ -1,21 +1,15 @@
 #include "src/engine/batch_solver.hpp"
 
-#include <algorithm>
 #include <map>
 #include <stdexcept>
-#include <thread>
 
-#include "src/engine/digest_util.hpp"
-#include "src/util/parallel.hpp"
-#include "src/util/timer.hpp"
+#include "src/engine/exec_core.hpp"
 
 namespace moldable::engine {
 
 namespace {
 
 using detail::fnv1a_mix;
-using detail::fnv1a_mix_double;
-using detail::percentile_sorted;
 
 std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcomes) {
   struct Bucket {
@@ -44,53 +38,68 @@ std::vector<AlgorithmStats> aggregate(const std::vector<InstanceOutcome>& outcom
     s.count = b.ratios.size();
     s.failed = b.failed;
     if (!b.ratios.empty()) {
-      std::sort(b.ratios.begin(), b.ratios.end());
-      std::sort(b.walls.begin(), b.walls.end());
       double sum = 0;
       for (double r : b.ratios) sum += r;
       s.ratio_mean = sum / static_cast<double>(b.ratios.size());
-      s.ratio_p50 = percentile_sorted(b.ratios, 50);
-      s.ratio_p90 = percentile_sorted(b.ratios, 90);
-      s.ratio_p99 = percentile_sorted(b.ratios, 99);
-      s.ratio_max = b.ratios.back();
+      const exec::Percentiles ratio = exec::percentiles_of(b.ratios);
+      s.ratio_p50 = ratio.p50;
+      s.ratio_p90 = ratio.p90;
+      s.ratio_p99 = ratio.p99;
+      s.ratio_max = ratio.max;
       for (double w : b.walls) s.wall_total += w;
-      s.wall_p50 = percentile_sorted(b.walls, 50);
-      s.wall_p90 = percentile_sorted(b.walls, 90);
-      s.wall_p99 = percentile_sorted(b.walls, 99);
-      s.wall_max = b.walls.back();
-      std::sort(b.queues.begin(), b.queues.end());
-      s.queue_p50 = percentile_sorted(b.queues, 50);
-      s.queue_p90 = percentile_sorted(b.queues, 90);
-      s.queue_p99 = percentile_sorted(b.queues, 99);
-      s.queue_max = b.queues.back();
+      const exec::Percentiles wall = exec::percentiles_of(b.walls);
+      s.wall_p50 = wall.p50;
+      s.wall_p90 = wall.p90;
+      s.wall_p99 = wall.p99;
+      s.wall_max = wall.max;
+      const exec::Percentiles queue = exec::percentiles_of(b.queues);
+      s.queue_p50 = queue.p50;
+      s.queue_p90 = queue.p90;
+      s.queue_p99 = queue.p99;
+      s.queue_max = queue.max;
     }
     out.push_back(std::move(s));
   }
   return out;
 }
 
+/// Config part of the memo key: everything that changes an outcome. The
+/// leading tag keeps single-solver and portfolio keys disjoint even for
+/// coincidentally equal name lists.
+std::uint64_t config_memo_key(const BatchConfig& config) {
+  std::uint64_t h = detail::kFnvOffsetBasis;
+  const char tag[] = "batch";
+  fnv1a_mix(h, tag, sizeof(tag));
+  fnv1a_mix(h, config.algorithm.data(), config.algorithm.size());
+  detail::fnv1a_mix_double(h, config.eps);
+  return h;
+}
+
 }  // namespace
+
+void InstanceOutcome::mix_digest(std::uint64_t& h, std::size_t digest_index) const {
+  fnv1a_mix(h, &digest_index, sizeof(digest_index));
+  const unsigned char ok_byte = ok ? 1 : 0;
+  fnv1a_mix(h, &ok_byte, sizeof(ok_byte));
+  fnv1a_mix(h, algorithm.data(), algorithm.size());
+  detail::fnv1a_mix_double(h, makespan);
+  detail::fnv1a_mix_double(h, lower_bound);
+  detail::fnv1a_mix_double(h, ratio);
+  detail::fnv1a_mix_double(h, guarantee);
+  fnv1a_mix(h, &dual_calls, sizeof(dual_calls));
+}
 
 std::uint64_t BatchResult::digest() const {
   std::uint64_t h = detail::kFnvOffsetBasis;
-  for (const InstanceOutcome& o : outcomes) {
-    fnv1a_mix(h, &o.index, sizeof(o.index));
-    const unsigned char ok = o.ok ? 1 : 0;
-    fnv1a_mix(h, &ok, sizeof(ok));
-    fnv1a_mix(h, o.algorithm.data(), o.algorithm.size());
-    fnv1a_mix_double(h, o.makespan);
-    fnv1a_mix_double(h, o.lower_bound);
-    fnv1a_mix_double(h, o.ratio);
-    fnv1a_mix_double(h, o.guarantee);
-    fnv1a_mix(h, &o.dual_calls, sizeof(o.dual_calls));
-  }
+  for (const InstanceOutcome& o : outcomes) o.mix_digest(h, o.index);
   return h;
 }
 
 BatchSolver::BatchSolver(const AlgorithmRegistry& registry) : registry_(&registry) {}
 
 BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
-                               const BatchConfig& config) const {
+                               const BatchConfig& config,
+                               exec::MemoStore<InstanceOutcome>* memo) const {
   const SolverFn& solver = registry_->at(config.algorithm);  // throws on unknown
   if (!(config.eps > 0) || config.eps > 1)
     throw std::invalid_argument("batch: eps must be in (0, 1]");
@@ -102,16 +111,17 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
   BatchResult result;
   result.outcomes.resize(batch.size());
 
-  unsigned threads = config.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  exec::MemoPlan plan;
+  if (memo) {
+    plan = exec::plan_memo(batch, config_memo_key(config),
+                           [&](std::uint64_t key) { return memo->contains(key); });
+    result.memo_hits = plan.hits;
+    result.memo_misses = plan.misses;
+  }
 
-  util::Timer batch_timer;  // anchors both the queue split and the batch wall
-  util::parallel_for(
-      batch.size(),
-      [&](std::size_t i) {
+  const exec::ShardTiming timing = exec::run_sharded(
+      batch.size(), config.threads, memo ? &plan : nullptr, [&](std::size_t i) {
         InstanceOutcome& out = result.outcomes[i];
-        out.index = i;
-        out.queue_seconds = batch_timer.seconds();
         util::Timer item_timer;
         try {
           const core::ScheduleResult r = solver(batch[i], solver_config);
@@ -129,9 +139,25 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
           out.algorithm = config.algorithm;
         }
         out.wall_seconds = item_timer.seconds();
-      },
-      threads);
-  result.wall_seconds = batch_timer.seconds();
+      });
+  result.wall_seconds = timing.wall_seconds;
+
+  // Serial finalize: stamp indices and pickup times, serve memoized slots
+  // (from the store or from the earlier duplicate slot — already final,
+  // since its index is smaller), and record fresh outcomes in the store.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    InstanceOutcome& out = result.outcomes[i];
+    if (memo && !plan.computes(i)) {
+      const InstanceOutcome* cached = plan.source[i] == exec::MemoPlan::kFromStore
+                                          ? memo->find(plan.key[i])
+                                          : &result.outcomes[plan.source[i]];
+      out = *cached;
+      out.wall_seconds = 0;  // served, not solved
+    }
+    out.index = i;
+    out.queue_seconds = timing.queue_seconds[i];
+    if (memo && plan.computes(i) && plan.memoizable[i]) memo->insert(plan.key[i], out);
+  }
 
   for (const InstanceOutcome& o : result.outcomes) (o.ok ? result.solved : result.failed)++;
   result.per_algorithm = aggregate(result.outcomes);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/exec_core.hpp"
 #include "src/engine/registry.hpp"
 #include "src/jobs/instance.hpp"
 
@@ -54,8 +55,16 @@ struct InstanceOutcome {
   /// machines it captures the queueing that `wall_seconds` used to conflate.
   /// Not deterministic.
   double queue_seconds = 0;
-  /// Pure solve (compute) time for this instance. Not deterministic.
+  /// Pure solve (compute) time for this instance. Not deterministic. Zero
+  /// for an outcome served from the memo cache (no solving happened).
   double wall_seconds = 0;
+
+  /// Mixes this outcome's digest-covered fields into `h` exactly as
+  /// BatchResult::digest() does, but under the caller-chosen index —
+  /// the hook the stream layer uses to fold window outcomes into one
+  /// rolling digest with stream-global indices, guaranteeing equality with
+  /// a one-shot batch digest over the concatenated windows.
+  void mix_digest(std::uint64_t& h, std::size_t digest_index) const;
 };
 
 /// Aggregate over all outcomes that resolved to one algorithm name.
@@ -82,6 +91,13 @@ struct BatchResult {
   std::size_t solved = 0;
   std::size_t failed = 0;
   double wall_seconds = 0;  ///< whole-batch wall clock
+  /// Memoization tally (both zero when no memo store was passed). A hit is
+  /// an outcome served without solving — a duplicate of an earlier index of
+  /// this batch, or of an instance a prior batch stored. hits + misses ==
+  /// batch size when memoization is on, and both counts are deterministic
+  /// (the memo plan is computed serially before dispatch).
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
 
   /// FNV-1a over every algorithmic field of every outcome in batch order:
   /// (index, ok, algorithm, makespan, lower_bound, ratio, guarantee,
@@ -106,8 +122,17 @@ class BatchSolver {
   /// Solves every instance. Throws std::invalid_argument up front when
   /// config names an unknown algorithm or eps is out of range; per-instance
   /// solver errors are recorded in the outcomes instead of thrown.
-  BatchResult solve(const std::vector<jobs::Instance>& batch,
-                    const BatchConfig& config) const;
+  ///
+  /// `memo` (optional) enables digest-keyed memoization: instances whose
+  /// canonical text form was already solved — earlier in this batch or in a
+  /// prior batch sharing the store — reuse the stored outcome instead of
+  /// re-solving. Because solvers are pure, the algorithmic fields (and thus
+  /// the digest) are bitwise identical with and without memoization; only
+  /// the timing fields differ (served outcomes report zero compute). The
+  /// store is read and extended serially around the shard loop; sharing one
+  /// store between concurrent solve calls is not supported.
+  BatchResult solve(const std::vector<jobs::Instance>& batch, const BatchConfig& config,
+                    exec::MemoStore<InstanceOutcome>* memo = nullptr) const;
 
  private:
   const AlgorithmRegistry* registry_;

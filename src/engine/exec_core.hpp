@@ -1,0 +1,178 @@
+// The shared execution core under both batch engines (and the stream layer
+// on top of them).
+//
+// BatchSolver and PortfolioSolver are policies — "run one solver" vs "race a
+// variant list" — over one identical execution skeleton:
+//
+//   * per-index outcome slots, sized up front, each worker writing only its
+//     own slot (what makes every algorithmic output a pure function of
+//     (batch, config) and hence thread-count independent);
+//   * static block sharding via util::parallel_for;
+//   * a single steady-clock anchor that stamps both the per-instance shard
+//     pickup time (the queue half of the latency split) and the whole-batch
+//     wall clock;
+//   * FNV-1a digest plumbing and nearest-rank percentile aggregation;
+//   * an opt-in digest-keyed memoization plan that serves duplicate
+//     instances from a prior outcome instead of re-solving them.
+//
+// This header states those mechanics once; the solvers keep only their
+// policy code. Everything here is deterministic except the clock reads, and
+// the memo plan is computed serially before dispatch so hit/miss counts are
+// reproducible across thread counts.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/jobs/instance.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/timer.hpp"
+
+namespace moldable::engine::detail {
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+inline void fnv1a_mix(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+}
+
+inline void fnv1a_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv1a_mix(h, &bits, sizeof(bits));
+}
+
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(std::max(1.0, rank)) - 1);
+  return sorted[idx];
+}
+
+}  // namespace moldable::engine::detail
+
+namespace moldable::engine::exec {
+
+/// Resolves a configured worker count: 0 means hardware concurrency, and the
+/// result is always at least 1 (hardware_concurrency may report 0).
+unsigned resolve_threads(unsigned configured);
+
+/// The p50/p90/p99/max summary every stats table in the engine layer
+/// reports. Computed with the shared nearest-rank rule so no two aggregates
+/// can drift apart in their percentile definition.
+struct Percentiles {
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+/// Sorts `samples` in place and summarizes it (all zeros when empty).
+Percentiles percentiles_of(std::vector<double>& samples);
+
+/// Digest-keyed memo key of one instance under one solver configuration:
+/// FNV-1a over the instance's canonical text form — minus the instance
+/// name, which loaders auto-generate for unnamed input and which affects
+/// no algorithmic output — seeded with `config_key` (which must encode
+/// everything that changes the outcome — solver names, eps). Returns
+/// nullopt for instances that cannot be serialized (custom oracle types
+/// outside the io catalogue); those are never memoized.
+std::optional<std::uint64_t> memo_key(const jobs::Instance& instance,
+                                      std::uint64_t config_key);
+
+/// Where one outcome slot gets its value from under memoization. Computed
+/// serially before dispatch (see plan_memo), so the split — and therefore
+/// the hit/miss counts — is identical at every thread count.
+struct MemoPlan {
+  /// source[i] semantics: kCompute = solve slot i; kFromStore = copy the
+  /// outcome stored under key[i] by an earlier batch; any other value j is
+  /// an earlier index of THIS batch with the same key (j < i, j computes or
+  /// is itself served from the store — copy from the finished slot j).
+  static constexpr std::size_t kCompute = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kFromStore = static_cast<std::size_t>(-2);
+
+  std::vector<std::size_t> source;
+  std::vector<std::uint64_t> key;   ///< valid where memoizable[i]
+  std::vector<char> memoizable;     ///< 0 for unserializable instances
+  std::size_t hits = 0;             ///< slots served without solving
+  std::size_t misses = 0;           ///< slots that must compute
+
+  bool computes(std::size_t i) const { return source[i] == kCompute; }
+};
+
+/// Cross-batch memo storage: key -> the first finished outcome computed
+/// under that key. Owned by the caller (the stream layer keeps one alive
+/// across windows); not thread-safe by design — all access happens in the
+/// serial plan/finalize phases around the shard loop, never inside it.
+template <typename Outcome>
+class MemoStore {
+ public:
+  bool contains(std::uint64_t key) const { return map_.count(key) != 0; }
+
+  const Outcome* find(std::uint64_t key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// First insertion wins; re-inserting an existing key is a no-op (the
+  /// solvers are pure, so a second outcome under the same key is identical).
+  void insert(std::uint64_t key, const Outcome& outcome) {
+    map_.emplace(key, outcome);
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Outcome> map_;
+};
+
+/// Builds the memo plan for one batch: serially keys every instance, marks
+/// duplicates of earlier indices and instances already present in the store
+/// (membership queried through `in_store` so this stays independent of the
+/// outcome type). hits + misses == batch size.
+MemoPlan plan_memo(const std::vector<jobs::Instance>& batch, std::uint64_t config_key,
+                   const std::function<bool(std::uint64_t)>& in_store);
+
+/// Timing side-channel of one shard dispatch. queue_seconds[i] is the
+/// steady-clock delta from batch submission to slot i's shard pickup — the
+/// time the instance spent behind earlier instances of its shard. Neither
+/// field is deterministic; neither enters any digest.
+struct ShardTiming {
+  std::vector<double> queue_seconds;
+  double wall_seconds = 0;
+};
+
+/// The one shard loop both engines run: static block partitioning over
+/// [0, n), a pickup stamp for every index (memo-served slots still queue
+/// behind their shard), and solve(i) for exactly the indices the plan marks
+/// kCompute (all of them when plan is null). solve must write only slot i's
+/// state — the usual per-index-slot contract.
+template <typename SolveFn>
+ShardTiming run_sharded(std::size_t n, unsigned threads, const MemoPlan* plan,
+                        SolveFn&& solve) {
+  ShardTiming timing;
+  timing.queue_seconds.assign(n, 0);
+  util::Timer batch_timer;  // anchors both the queue split and the batch wall
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        timing.queue_seconds[i] = batch_timer.seconds();
+        if (plan && !plan->computes(i)) return;
+        solve(i);
+      },
+      resolve_threads(threads));
+  timing.wall_seconds = batch_timer.seconds();
+  return timing;
+}
+
+}  // namespace moldable::engine::exec

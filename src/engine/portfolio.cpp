@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
-#include "src/engine/digest_util.hpp"
+#include "src/engine/exec_core.hpp"
 #include "src/sched/validator.hpp"
 #include "src/util/common.hpp"
-#include "src/util/parallel.hpp"
-#include "src/util/timer.hpp"
 
 namespace moldable::engine {
 
@@ -16,7 +13,6 @@ namespace {
 
 using detail::fnv1a_mix;
 using detail::fnv1a_mix_double;
-using detail::percentile_sorted;
 
 std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcomes,
                                     const std::vector<std::string>& variants) {
@@ -52,14 +48,34 @@ std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcome
       s.gap_max = *std::max_element(gaps[v].begin(), gaps[v].end());
     }
     if (!walls[v].empty()) {
-      std::sort(walls[v].begin(), walls[v].end());
       for (double w : walls[v]) s.wall_total += w;
-      s.wall_p50 = percentile_sorted(walls[v], 50);
-      s.wall_p99 = percentile_sorted(walls[v], 99);
-      s.wall_max = walls[v].back();
+      const exec::Percentiles wall = exec::percentiles_of(walls[v]);
+      s.wall_p50 = wall.p50;
+      s.wall_p90 = wall.p90;
+      s.wall_p99 = wall.p99;
+      s.wall_max = wall.max;
     }
   }
   return out;
+}
+
+/// Config part of the memo key (see the BatchSolver twin): variant list,
+/// eps, and the tie-break mode — the winner label is stored in the cached
+/// outcome, so outcomes produced under different tie-break rules must not
+/// alias.
+std::uint64_t config_memo_key(const PortfolioConfig& config) {
+  std::uint64_t h = detail::kFnvOffsetBasis;
+  const char tag[] = "portfolio";
+  fnv1a_mix(h, tag, sizeof(tag));
+  for (const std::string& v : config.variants) {
+    fnv1a_mix(h, v.data(), v.size());
+    const char sep = ',';
+    fnv1a_mix(h, &sep, sizeof(sep));
+  }
+  fnv1a_mix_double(h, config.eps);
+  const unsigned char tie = config.tie_break == TieBreak::kPortfolioOrder ? 1 : 0;
+  fnv1a_mix(h, &tie, sizeof(tie));
+  return h;
 }
 
 }  // namespace
@@ -80,27 +96,29 @@ std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
   return names;
 }
 
+void PortfolioOutcome::mix_digest(std::uint64_t& h, std::size_t digest_index) const {
+  fnv1a_mix(h, &digest_index, sizeof(digest_index));
+  const unsigned char ok_byte = ok ? 1 : 0;
+  fnv1a_mix(h, &ok_byte, sizeof(ok_byte));
+  fnv1a_mix_double(h, makespan);
+  fnv1a_mix_double(h, lower_bound);
+  fnv1a_mix_double(h, ratio);
+  fnv1a_mix_double(h, guarantee);
+  for (const VariantAttempt& a : attempts) {
+    fnv1a_mix(h, a.algorithm.data(), a.algorithm.size());
+    const unsigned char aok = a.ok ? 1 : 0;
+    fnv1a_mix(h, &aok, sizeof(aok));
+    fnv1a_mix_double(h, a.makespan);
+    fnv1a_mix_double(h, a.lower_bound);
+    fnv1a_mix_double(h, a.ratio);
+    fnv1a_mix_double(h, a.guarantee);
+    fnv1a_mix(h, &a.dual_calls, sizeof(a.dual_calls));
+  }
+}
+
 std::uint64_t PortfolioResult::digest() const {
   std::uint64_t h = detail::kFnvOffsetBasis;
-  for (const PortfolioOutcome& o : outcomes) {
-    fnv1a_mix(h, &o.index, sizeof(o.index));
-    const unsigned char ok = o.ok ? 1 : 0;
-    fnv1a_mix(h, &ok, sizeof(ok));
-    fnv1a_mix_double(h, o.makespan);
-    fnv1a_mix_double(h, o.lower_bound);
-    fnv1a_mix_double(h, o.ratio);
-    fnv1a_mix_double(h, o.guarantee);
-    for (const VariantAttempt& a : o.attempts) {
-      fnv1a_mix(h, a.algorithm.data(), a.algorithm.size());
-      const unsigned char aok = a.ok ? 1 : 0;
-      fnv1a_mix(h, &aok, sizeof(aok));
-      fnv1a_mix_double(h, a.makespan);
-      fnv1a_mix_double(h, a.lower_bound);
-      fnv1a_mix_double(h, a.ratio);
-      fnv1a_mix_double(h, a.guarantee);
-      fnv1a_mix(h, &a.dual_calls, sizeof(a.dual_calls));
-    }
-  }
+  for (const PortfolioOutcome& o : outcomes) o.mix_digest(h, o.index);
   return h;
 }
 
@@ -108,7 +126,8 @@ PortfolioSolver::PortfolioSolver(const AlgorithmRegistry& registry)
     : registry_(&registry) {}
 
 PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
-                                       const PortfolioConfig& config) const {
+                                       const PortfolioConfig& config,
+                                       exec::MemoStore<PortfolioOutcome>* memo) const {
   if (config.variants.empty())
     throw std::invalid_argument("portfolio: variant list is empty");
   if (!(config.eps > 0) || config.eps > 1)
@@ -133,21 +152,22 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
   PortfolioResult result;
   result.outcomes.resize(batch.size());
 
-  unsigned threads = config.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  exec::MemoPlan plan;
+  if (memo) {
+    plan = exec::plan_memo(batch, config_memo_key(config),
+                           [&](std::uint64_t key) { return memo->contains(key); });
+    result.memo_hits = plan.hits;
+    result.memo_misses = plan.misses;
+  }
 
-  util::Timer batch_timer;  // anchors both the queue split and the batch wall
-  util::parallel_for(
-      batch.size(),
-      [&](std::size_t i) {
+  const exec::ShardTiming timing = exec::run_sharded(
+      batch.size(), config.threads, memo ? &plan : nullptr, [&](std::size_t i) {
         PortfolioOutcome& out = result.outcomes[i];
-        out.index = i;
-        out.queue_seconds = batch_timer.seconds();
         out.attempts.resize(config.variants.size());
 
         // Run every variant; keep the algorithmic best (min makespan), the
-        // tightest certificate (max lower bound), and the fastest of the
-        // makespan-tied variants as the labelled winner.
+        // tightest certificate (max lower bound), and — among makespan-tied
+        // variants — the tie-break mode's pick as the labelled winner.
         std::size_t winner = config.variants.size();  // sentinel: none yet
         for (std::size_t v = 0; v < config.variants.size(); ++v) {
           VariantAttempt& a = out.attempts[v];
@@ -187,7 +207,11 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
             winner = v;
           } else if (a.makespan == out.makespan) {
             out.guarantee = std::min(out.guarantee, a.guarantee);
-            if (a.wall_seconds < out.attempts[winner].wall_seconds) winner = v;
+            // kPortfolioOrder keeps the earliest tied variant (winner < v by
+            // construction); kWallTime hands the label to a faster tie.
+            if (config.tie_break == TieBreak::kWallTime &&
+                a.wall_seconds < out.attempts[winner].wall_seconds)
+              winner = v;
           }
         }
         if (out.ok) {
@@ -197,9 +221,26 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
           // single-variant portfolio bitwise equal to BatchSolver.
           out.ratio = out.lower_bound > 0 ? out.makespan / out.lower_bound : 1;
         }
-      },
-      threads);
-  result.wall_seconds = batch_timer.seconds();
+      });
+  result.wall_seconds = timing.wall_seconds;
+
+  // Serial finalize, mirroring BatchSolver: stamp index/queue, serve
+  // memoized slots (zeroing the racing cost — nothing was raced), store
+  // fresh outcomes.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PortfolioOutcome& out = result.outcomes[i];
+    if (memo && !plan.computes(i)) {
+      const PortfolioOutcome* cached = plan.source[i] == exec::MemoPlan::kFromStore
+                                           ? memo->find(plan.key[i])
+                                           : &result.outcomes[plan.source[i]];
+      out = *cached;
+      out.compute_seconds = 0;
+      for (VariantAttempt& a : out.attempts) a.wall_seconds = 0;
+    }
+    out.index = i;
+    out.queue_seconds = timing.queue_seconds[i];
+    if (memo && plan.computes(i) && plan.memoizable[i]) memo->insert(plan.key[i], out);
+  }
 
   for (const PortfolioOutcome& o : result.outcomes)
     (o.ok ? result.solved : result.failed)++;
@@ -208,10 +249,10 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
   std::vector<double> queues;
   queues.reserve(result.outcomes.size());
   for (const PortfolioOutcome& o : result.outcomes) queues.push_back(o.queue_seconds);
-  std::sort(queues.begin(), queues.end());
-  result.queue_p50 = percentile_sorted(queues, 50);
-  result.queue_p99 = percentile_sorted(queues, 99);
-  result.queue_max = queues.empty() ? 0 : queues.back();
+  const exec::Percentiles queue = exec::percentiles_of(queues);
+  result.queue_p50 = queue.p50;
+  result.queue_p99 = queue.p99;
+  result.queue_max = queue.max;
   return result;
 }
 

@@ -17,17 +17,22 @@
 //                    best makespan.
 //
 // All four are pure functions of (batch, variants, eps) and enter the
-// digest. The *winner name* is tie-broken by makespan, then wall time, then
-// portfolio order: wall time is measured, so under an exact makespan tie the
-// winner label (and the per-variant win counts derived from it) may differ
-// between runs. Winner identity and all wall/queue fields are therefore
-// excluded from the digest — see PortfolioResult::digest().
+// digest. The *winner name* is tie-broken by makespan, then (under the
+// default TieBreak::kWallTime) wall time, then portfolio order: wall time is
+// measured, so under an exact makespan tie the winner label (and the
+// per-variant win counts derived from it) may differ between runs.
+// TieBreak::kPortfolioOrder drops the wall-time step — ties go to the
+// earliest variant in portfolio order, making the full win-count table a
+// pure function of (batch, variants, eps), reproducible for CI comparison.
+// Winner identity and all wall/queue fields are excluded from the digest
+// under either mode — see PortfolioResult::digest().
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/engine/exec_core.hpp"
 #include "src/engine/registry.hpp"
 #include "src/jobs/instance.hpp"
 
@@ -40,10 +45,18 @@ namespace moldable::engine {
 /// front so the error carries the known-name list.
 std::vector<std::string> parse_portfolio_spec(const std::string& spec);
 
+/// How an exact makespan tie picks the labelled winner (the combined
+/// certificate is unaffected — only the winner name and win counts change).
+enum class TieBreak {
+  kWallTime,        ///< fastest tied variant wins (measured; may vary run to run)
+  kPortfolioOrder,  ///< earliest tied variant in portfolio order wins (deterministic)
+};
+
 struct PortfolioConfig {
   std::vector<std::string> variants;  ///< registry names to race, in order
   double eps = 0.1;                   ///< approximation parameter, in (0, 1]
   unsigned threads = 0;               ///< worker threads; 0 = hardware concurrency
+  TieBreak tie_break = TieBreak::kWallTime;  ///< winner selection under ties
 };
 
 /// One variant's run on one instance. Every field except wall_seconds is
@@ -71,8 +84,13 @@ struct PortfolioOutcome {
   double ratio = 0;         ///< makespan / lower_bound
   double guarantee = 0;     ///< min proven factor among makespan-best variants
   double queue_seconds = 0;    ///< batch start -> shard pickup (not deterministic)
-  double compute_seconds = 0;  ///< sum of variant walls (the cost of racing)
+  double compute_seconds = 0;  ///< sum of variant walls; 0 when memo-served
   std::vector<VariantAttempt> attempts;  ///< one per variant, portfolio order
+
+  /// Mixes the digest-covered fields into `h` exactly as
+  /// PortfolioResult::digest() does, under a caller-chosen index — the
+  /// stream layer's rolling-digest hook (see InstanceOutcome::mix_digest).
+  void mix_digest(std::uint64_t& h, std::size_t digest_index) const;
 };
 
 /// Aggregate over one variant across the whole batch.
@@ -87,9 +105,10 @@ struct VariantStats {
   double gap_mean = 0;
   double gap_max = 0;
   /// Wall stats cover ALL attempts, failed ones included — a variant that
-  /// burns compute before throwing still costs the race.
+  /// burns compute before throwing still costs the race. Same p50/p90/p99/
+  /// max ladder as AlgorithmStats (the single-solver aggregate).
   double wall_total = 0;
-  double wall_p50 = 0, wall_p99 = 0, wall_max = 0;
+  double wall_p50 = 0, wall_p90 = 0, wall_p99 = 0, wall_max = 0;
 };
 
 struct PortfolioResult {
@@ -98,6 +117,10 @@ struct PortfolioResult {
   std::size_t solved = 0;  ///< instances with at least one valid schedule
   std::size_t failed = 0;  ///< instances where every variant failed
   double wall_seconds = 0;  ///< whole-batch wall clock
+  /// Memoization tally, deterministic; both zero without a memo store (see
+  /// BatchResult for the exact semantics — they are identical here).
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
   /// Batch-level shard-pickup latency percentiles over all outcomes (queue
   /// time is a property of the instance's shard slot, shared by every
   /// variant raced on it). Not deterministic, excluded from the digest.
@@ -122,8 +145,14 @@ class PortfolioSolver {
   /// duplicate name, or eps is out of range; per-instance solver errors are
   /// recorded in the outcomes instead of thrown. A single-variant portfolio
   /// degenerates to BatchSolver semantics (same makespans, bounds, ratios).
+  ///
+  /// `memo` enables digest-keyed memoization with the same contract as
+  /// BatchSolver::solve: duplicate instances reuse the stored outcome
+  /// (winner label included), the digest is unchanged, served outcomes
+  /// report zero compute, and the store must not be shared concurrently.
   PortfolioResult solve(const std::vector<jobs::Instance>& batch,
-                        const PortfolioConfig& config) const;
+                        const PortfolioConfig& config,
+                        exec::MemoStore<PortfolioOutcome>* memo = nullptr) const;
 
  private:
   const AlgorithmRegistry* registry_;

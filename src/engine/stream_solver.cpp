@@ -1,0 +1,180 @@
+#include "src/engine/stream_solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/jobs/io.hpp"
+#include "src/util/timer.hpp"
+
+namespace moldable::engine {
+
+namespace {
+
+/// Per-class accumulation over the whole stream; finalized into ClassStats.
+struct ClassBucket {
+  std::size_t solved = 0, failed = 0;
+  std::vector<double> queue;
+  std::vector<double> compute;
+};
+
+}  // namespace
+
+StreamSolver::StreamSolver(const AlgorithmRegistry& registry) : registry_(&registry) {}
+
+StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
+                               const WindowCallback& on_window,
+                               const ErrorCallback& on_error) const {
+  // Fail fast, before consuming any input: a config typo must not eat half
+  // a stream first. The same checks the per-window solvers repeat.
+  if (config.window == 0)
+    throw std::invalid_argument("stream: window must be >= 1");
+  if (config.max_inflight == 0)
+    throw std::invalid_argument("stream: max-inflight must be >= 1");
+  if (!(config.eps > 0) || config.eps > 1)
+    throw std::invalid_argument("stream: eps must be in (0, 1]");
+  const bool portfolio_mode = !config.variants.empty();
+  if (portfolio_mode) {
+    for (std::size_t v = 0; v < config.variants.size(); ++v) {
+      registry_->at(config.variants[v]);  // throws with the known-name list
+      for (std::size_t w = 0; w < v; ++w)
+        if (config.variants[w] == config.variants[v])
+          throw std::invalid_argument("stream: duplicate variant '" +
+                                      config.variants[v] + "'");
+    }
+  } else {
+    registry_->at(config.algorithm);
+  }
+
+  BatchConfig batch_config;
+  batch_config.algorithm = config.algorithm;
+  batch_config.eps = config.eps;
+  batch_config.threads = config.threads;
+  PortfolioConfig portfolio_config;
+  portfolio_config.variants = config.variants;
+  portfolio_config.eps = config.eps;
+  portfolio_config.threads = config.threads;
+  portfolio_config.tie_break = config.tie_break;
+
+  const BatchSolver batch_solver(*registry_);
+  const PortfolioSolver portfolio_solver(*registry_);
+  exec::MemoStore<InstanceOutcome> batch_memo;
+  exec::MemoStore<PortfolioOutcome> portfolio_memo;
+
+  StreamResult result;
+  result.rolling_digest = detail::kFnvOffsetBasis;  // == empty batch digest
+
+  jobs::InstanceStreamReader reader(input);
+  std::vector<jobs::Instance> pending;  // the bounded reorder buffer
+  const std::size_t capacity = config.window * config.max_inflight;
+  pending.reserve(capacity);
+
+  std::map<std::string, ClassBucket> classes;
+  std::size_t global_index = 0;  // stream-wide outcome index for the digest
+  bool exhausted = false;
+  util::Timer stream_timer;
+
+  while (true) {
+    // Fill the reorder buffer up to its horizon (serial, stream order).
+    while (!exhausted && pending.size() < capacity) {
+      jobs::StreamRecord record;
+      if (!reader.next(record)) {
+        exhausted = true;
+        break;
+      }
+      if (!record.ok) {
+        ++result.malformed;
+        StreamError err;
+        err.line = record.line;
+        err.ordinal = record.ordinal;
+        err.message = record.error;
+        if (on_error) on_error(err);
+        result.errors.push_back(std::move(err));
+        continue;
+      }
+      pending.push_back(std::move(record.instance));
+    }
+    if (pending.empty()) break;  // fully drained
+
+    // Arrival ordering within the horizon. Stable: equal arrivals (and the
+    // all-defaults case) keep stream order, so this is a pure function of
+    // the record stream — no clock is involved.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const jobs::Instance& a, const jobs::Instance& b) {
+                       return a.arrival() < b.arrival();
+                     });
+
+    const std::size_t take = std::min(config.window, pending.size());
+    std::vector<jobs::Instance> window(std::make_move_iterator(pending.begin()),
+                                       std::make_move_iterator(pending.begin() + take));
+    pending.erase(pending.begin(), pending.begin() + take);
+
+    WindowStats stats;
+    stats.index = result.windows;
+    stats.instances = window.size();
+
+    // Solve the window through the shared core; fold outcomes into the
+    // rolling digest under their stream-global indices and into the
+    // per-class latency buckets.
+    if (portfolio_mode) {
+      const PortfolioResult r = portfolio_solver.solve(
+          window, portfolio_config, config.memo ? &portfolio_memo : nullptr);
+      stats.solved = r.solved;
+      stats.failed = r.failed;
+      stats.wall_seconds = r.wall_seconds;
+      stats.memo_hits = r.memo_hits;
+      stats.memo_misses = r.memo_misses;
+      stats.digest = r.digest();
+      for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+        const PortfolioOutcome& o = r.outcomes[i];
+        o.mix_digest(result.rolling_digest, global_index++);
+        ClassBucket& bucket = classes[window[i].sla_class()];
+        (o.ok ? bucket.solved : bucket.failed)++;
+        bucket.queue.push_back(o.queue_seconds);
+        bucket.compute.push_back(o.compute_seconds);
+      }
+    } else {
+      const BatchResult r =
+          batch_solver.solve(window, batch_config, config.memo ? &batch_memo : nullptr);
+      stats.solved = r.solved;
+      stats.failed = r.failed;
+      stats.wall_seconds = r.wall_seconds;
+      stats.memo_hits = r.memo_hits;
+      stats.memo_misses = r.memo_misses;
+      stats.digest = r.digest();
+      for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+        const InstanceOutcome& o = r.outcomes[i];
+        o.mix_digest(result.rolling_digest, global_index++);
+        ClassBucket& bucket = classes[window[i].sla_class()];
+        (o.ok ? bucket.solved : bucket.failed)++;
+        bucket.queue.push_back(o.queue_seconds);
+        bucket.compute.push_back(o.wall_seconds);
+      }
+    }
+    stats.rolling_digest = result.rolling_digest;
+
+    ++result.windows;
+    result.instances += stats.instances;
+    result.solved += stats.solved;
+    result.failed += stats.failed;
+    result.memo_hits += stats.memo_hits;
+    result.memo_misses += stats.memo_misses;
+    if (on_window) on_window(stats);
+    result.window_stats.push_back(stats);
+  }
+
+  for (auto& [name, bucket] : classes) {  // std::map: sorted by class name
+    ClassStats s;
+    s.sla_class = name.empty() ? "default" : name;
+    s.solved = bucket.solved;
+    s.failed = bucket.failed;
+    s.count = bucket.solved + bucket.failed;
+    s.queue = exec::percentiles_of(bucket.queue);
+    s.compute = exec::percentiles_of(bucket.compute);
+    result.per_class.push_back(std::move(s));
+  }
+  result.wall_seconds = stream_timer.seconds();
+  return result;
+}
+
+}  // namespace moldable::engine

@@ -1,0 +1,124 @@
+// StreamSolver: the continuous serving loop on top of the execution core.
+//
+// Where BatchSolver/PortfolioSolver solve one pre-materialized batch and
+// return, StreamSolver consumes an unbounded stream of instance records
+// (jobs::InstanceStreamReader — concatenated io-format records, e.g. stdin)
+// and serves it as a sequence of bounded micro-batches:
+//
+//   * at most `window` instances are grouped per micro-batch;
+//   * at most `max_inflight` windows' worth of instances are buffered ahead
+//     of the solver — the bounded reorder horizon within which instances
+//     are ordered by their `arrival` metadata (stable sort, so records
+//     without arrival stamps keep stream order);
+//   * each window runs through the shared core in single-solver or
+//     portfolio mode, optionally memoized across windows (duplicate
+//     instances in a replay stream reuse the prior outcome);
+//   * per-window stats are emitted as the window completes, and per-SLA-
+//     class latency splits are aggregated over the whole stream;
+//   * on end of input the buffer drains — the final window may be short,
+//     and no instance is ever dropped.
+//
+// Determinism: the windowing is a pure function of the record stream and
+// the config (reading, ordering, and window cuts are all serial), and each
+// window inherits the core's thread-count independence. The rolling digest
+// folds every outcome under its stream-global index with exactly the
+// per-outcome mixing of the one-shot engines, so for a fixed input and
+// window size it is identical across --threads 1/N *and* equal to the
+// one-shot batch digest over the concatenated windows. Malformed records
+// are isolated with a diagnostic and never perturb the digest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/engine/batch_solver.hpp"
+#include "src/engine/portfolio.hpp"
+#include "src/engine/registry.hpp"
+
+namespace moldable::engine {
+
+struct StreamConfig {
+  std::size_t window = 16;       ///< max instances per micro-batch (>= 1)
+  std::size_t max_inflight = 4;  ///< arrival-reorder horizon, in windows (>= 1)
+  std::string algorithm = "auto";     ///< single-solver mode selection
+  std::vector<std::string> variants;  ///< non-empty: portfolio mode (ignores algorithm)
+  double eps = 0.1;                   ///< approximation parameter, in (0, 1]
+  unsigned threads = 0;               ///< worker threads per window; 0 = hardware
+  bool memo = false;                  ///< digest-keyed memoization across windows
+  TieBreak tie_break = TieBreak::kWallTime;  ///< portfolio winner ties
+};
+
+/// Stats for one completed micro-batch.
+struct WindowStats {
+  std::size_t index = 0;  ///< window ordinal in the stream
+  std::size_t instances = 0;
+  std::size_t solved = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0;  ///< this window's solve wall clock
+  std::size_t memo_hits = 0, memo_misses = 0;
+  std::uint64_t digest = 0;          ///< this window's own batch digest
+  std::uint64_t rolling_digest = 0;  ///< stream digest after this window
+};
+
+/// Whole-stream latency split for one SLA class (the `class` directive;
+/// unlabelled instances report under "default"). Queue is shard pickup
+/// within the instance's window, compute is solve time (the summed racing
+/// cost in portfolio mode) — the same split the batch engines report,
+/// aggregated per class instead of per algorithm.
+struct ClassStats {
+  std::string sla_class;
+  std::size_t count = 0, solved = 0, failed = 0;
+  exec::Percentiles queue;
+  exec::Percentiles compute;
+};
+
+/// A malformed stream record, recorded and skipped.
+struct StreamError {
+  std::size_t line = 0;     ///< 1-based stream line where the record started
+  std::size_t ordinal = 0;  ///< record position in the stream
+  std::string message;
+};
+
+struct StreamResult {
+  std::size_t windows = 0;
+  std::size_t instances = 0;  ///< parsed and solved-or-failed (excl. malformed)
+  std::size_t solved = 0;
+  std::size_t failed = 0;
+  std::size_t malformed = 0;  ///< records skipped with a diagnostic
+  /// FNV-1a over every outcome in stream order under its stream-global
+  /// index; equals the one-shot batch digest over the concatenated windows
+  /// (empty stream == empty batch digest). Thread-count independent.
+  std::uint64_t rolling_digest = 0;
+  double wall_seconds = 0;  ///< whole run, input read time included
+  std::size_t memo_hits = 0, memo_misses = 0;
+  std::vector<WindowStats> window_stats;  ///< one per window, stream order
+  std::vector<ClassStats> per_class;      ///< sorted by class name
+  std::vector<StreamError> errors;        ///< malformed records, stream order
+};
+
+class StreamSolver {
+ public:
+  /// Called as each window completes / each malformed record is skipped —
+  /// the serve loop's live progress hooks.
+  using WindowCallback = std::function<void(const WindowStats&)>;
+  using ErrorCallback = std::function<void(const StreamError&)>;
+
+  /// The registry must outlive the solver (the global registry always does).
+  explicit StreamSolver(const AlgorithmRegistry& registry = AlgorithmRegistry::global());
+
+  /// Serves `input` to exhaustion. Throws std::invalid_argument up front —
+  /// before consuming any input — for a zero window/max_inflight, an
+  /// unknown or duplicate solver name, or eps out of range; per-instance
+  /// failures and malformed records are recorded, never thrown.
+  StreamResult run(std::istream& input, const StreamConfig& config,
+                   const WindowCallback& on_window = {},
+                   const ErrorCallback& on_error = {}) const;
+
+ private:
+  const AlgorithmRegistry* registry_;
+};
+
+}  // namespace moldable::engine

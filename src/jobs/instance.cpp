@@ -1,6 +1,7 @@
 #include "src/jobs/instance.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace moldable::jobs {
@@ -11,6 +12,25 @@ Instance::Instance(std::vector<Job> jobs, procs_t m, std::string name)
   for (const Job& j : jobs_)
     if (j.machines() != m_)
       throw std::invalid_argument("Instance: job bound to a different machine count");
+}
+
+void Instance::set_arrival(double arrival) {
+  // NaN fails both comparisons' complement: written as a double-negative so
+  // the guard rejects it too.
+  if (!(arrival >= 0) || !std::isfinite(arrival))
+    throw std::invalid_argument("Instance: arrival must be finite and >= 0");
+  arrival_ = arrival;
+}
+
+void Instance::set_sla_class(std::string sla_class) {
+  if (sla_class.find_first_of(" \t\r\n") != std::string::npos)
+    throw std::invalid_argument("Instance: SLA class must be a single token");
+  // An explicit "default" is the unlabelled class, not a sibling of it —
+  // otherwise the stream stats would show two indistinguishable "default"
+  // rows. Canonicalized here so the io round trip has one fixed point
+  // (`class default` parses to unlabelled, which writes no directive).
+  if (sla_class == "default") sla_class.clear();
+  sla_class_ = std::move(sla_class);
 }
 
 double Instance::min_time_bound() const {

@@ -21,6 +21,21 @@ class Instance {
   procs_t machines() const { return m_; }
   const std::string& name() const { return name_; }
 
+  /// Optional serving metadata (the io `arrival`/`class` directives). The
+  /// algorithms ignore both — they only steer the stream layer's window
+  /// ordering and per-SLA-class latency reporting.
+  /// Arrival time in arbitrary units; 0 = "arrived with the stream" (the
+  /// default, which preserves plain stream order under the stable
+  /// arrival sort). Must be finite and >= 0.
+  double arrival() const { return arrival_; }
+  void set_arrival(double arrival);
+  /// SLA class label; empty = the default class. A single token (no
+  /// whitespace, no line breaks) so it survives the text format and stays a
+  /// sane stats-table key. An explicit "default" canonicalizes to empty —
+  /// it names the same class the stats report unlabelled instances under.
+  const std::string& sla_class() const { return sla_class_; }
+  void set_sla_class(std::string sla_class);
+
   /// max_j t_j(m): every job needs at least this long even fully parallel.
   /// A valid makespan lower bound.
   double min_time_bound() const;
@@ -45,6 +60,8 @@ class Instance {
   std::vector<Job> jobs_;
   procs_t m_;
   std::string name_;
+  double arrival_ = 0;
+  std::string sla_class_;
 };
 
 }  // namespace moldable::jobs

@@ -1,6 +1,7 @@
 #include "src/jobs/io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -34,9 +35,14 @@ void write_instance(std::ostream& os, const Instance& instance) {
     throw std::invalid_argument("write_instance: instance name contains a line break");
   const std::string name = trim(instance.name());
   os << "moldable-instance v1\n";
-  if (!name.empty()) os << "name " << name << "\n";
-  os << "machines " << instance.machines() << "\n";
   os.precision(17);
+  if (!name.empty()) os << "name " << name << "\n";
+  // Metadata directives are omitted at their defaults, so files predating
+  // them keep byte-identical output. (Instance validates both setters:
+  // arrival is finite and >= 0, the class is a single token.)
+  if (instance.arrival() != 0) os << "arrival " << instance.arrival() << "\n";
+  if (!instance.sla_class().empty()) os << "class " << instance.sla_class() << "\n";
+  os << "machines " << instance.machines() << "\n";
   for (const Job& job : instance.jobs()) {
     const ProcessingTimeFunction& f = job.oracle();
     os << "job ";
@@ -91,17 +97,39 @@ Instance read_instance(std::istream& is, std::string default_name) {
   std::string mline;
   if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
 
-  // Optional 'name <instance name>' directive (rest of line, trimmed).
+  // Optional metadata directives between the header and the machines line,
+  // in any order, at most once each: 'name <rest of line>', 'arrival <t>',
+  // 'class <token>'.
   std::string instance_name = std::move(default_name);
-  {
-    std::istringstream ns(mline);
+  double arrival = 0;
+  std::string sla_class;
+  bool saw_name = false, saw_arrival = false, saw_class = false;
+  for (;;) {
+    std::istringstream ds(mline);
     std::string kw;
-    if ((ns >> kw) && kw == "name") {
-      std::getline(ns, instance_name);
+    ds >> kw;
+    if (kw == "name") {
+      if (saw_name) fail(lineno, "duplicate 'name' directive");
+      saw_name = true;
+      std::getline(ds, instance_name);
       instance_name = trim(instance_name);
       if (instance_name.empty()) fail(lineno, "'name' directive with no name");
-      if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
+    } else if (kw == "arrival") {
+      if (saw_arrival) fail(lineno, "duplicate 'arrival' directive");
+      saw_arrival = true;
+      std::string junk;
+      if (!(ds >> arrival) || !std::isfinite(arrival) || arrival < 0 || (ds >> junk))
+        fail(lineno, "'arrival' needs one finite value >= 0");
+    } else if (kw == "class") {
+      if (saw_class) fail(lineno, "duplicate 'class' directive");
+      saw_class = true;
+      std::string junk;
+      if (!(ds >> sla_class) || (ds >> junk))
+        fail(lineno, "'class' needs exactly one token");
+    } else {
+      break;  // not a metadata directive; must be the machines line
     }
+    if (!next_meaningful(mline)) fail(lineno, "expected 'machines <m>'");
   }
 
   std::istringstream ms(mline);
@@ -165,7 +193,10 @@ Instance read_instance(std::istream& is, std::string default_name) {
     js >> name;  // optional trailing name
     jv.emplace_back(std::move(f), m, name);
   }
-  return Instance(std::move(jv), m, std::move(instance_name));
+  Instance out(std::move(jv), m, std::move(instance_name));
+  out.set_arrival(arrival);          // both validated at parse time above,
+  out.set_sla_class(sla_class);      // so these cannot throw here
+  return out;
 }
 
 Instance from_text(const std::string& text) {
@@ -237,6 +268,73 @@ DirectoryLoad load_instances_from_dir(const std::string& dir) {
   std::sort(out.files.begin(), out.files.end(),
             [](const LoadedFile& a, const LoadedFile& b) { return a.path < b.path; });
   return out;
+}
+
+namespace {
+
+/// A line opens a record iff its first token is the instance header (leading
+/// whitespace allowed, same rule the parser's own line scan uses).
+bool is_record_header(const std::string& line) {
+  const auto pos = line.find_first_not_of(" \t\r");
+  return pos != std::string::npos && line.compare(pos, 17, "moldable-instance") == 0;
+}
+
+}  // namespace
+
+bool InstanceStreamReader::next(StreamRecord& record) {
+  std::string line;
+
+  // Find the start of the next record. A non-blank, non-comment line outside
+  // any record is itself returned as a malformed record (strictness over
+  // silent skipping — a typo'd header would otherwise vanish without trace).
+  if (!have_pending_) {
+    for (;;) {
+      if (!std::getline(*is_, line)) return false;  // end of stream
+      ++lineno_;
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      if (is_record_header(line)) {
+        pending_header_ = line;
+        pending_line_ = lineno_;
+        have_pending_ = true;
+        break;
+      }
+      record = StreamRecord{};
+      record.line = lineno_;
+      record.ordinal = ordinal_++;
+      record.error = "expected 'moldable-instance v1' header, got: " + trim(line);
+      return true;
+    }
+  }
+
+  // Collect the record body: everything up to the next header or EOF.
+  std::string text = pending_header_ + "\n";
+  const std::size_t start_line = pending_line_;
+  have_pending_ = false;
+  while (std::getline(*is_, line)) {
+    ++lineno_;
+    if (is_record_header(line)) {
+      pending_header_ = line;
+      pending_line_ = lineno_;
+      have_pending_ = true;
+      break;
+    }
+    text += line;
+    text += '\n';
+  }
+
+  record = StreamRecord{};
+  record.line = start_line;
+  record.ordinal = ordinal_++;
+  try {
+    std::istringstream ss(text);
+    record.instance = read_instance(ss, "stream-" + std::to_string(record.ordinal));
+    record.ok = true;
+  } catch (const std::exception& e) {
+    record.ok = false;
+    record.error = e.what();
+  }
+  return true;
 }
 
 }  // namespace moldable::jobs

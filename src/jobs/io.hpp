@@ -4,6 +4,8 @@
 //
 //   moldable-instance v1
 //   name <instance name>                    (optional, rest of line)
+//   arrival <t>                             (optional, finite t >= 0)
+//   class <sla-class>                       (optional, single token)
 //   machines <m>
 //   job amdahl   <t1> <fraction>            [name]
 //   job powerlaw <t1> <alpha>               [name]
@@ -16,10 +18,13 @@
 // encoding regime the paper's algorithms target. Table jobs are Theta(m)
 // by nature and require k == m.
 //
-// The `name` directive is an additive, optional extension of v1: files
-// without it parse exactly as before (earlier writers emitted the name only
-// as a comment, which was never parsed back), so the version token is
-// unchanged. Readers predating the directive reject files that use it.
+// The `name`, `arrival`, and `class` directives are additive, optional
+// extensions of v1: files without them parse exactly as before, so the
+// version token is unchanged; readers predating a directive reject files
+// that use it. The metadata directives may appear in any order between the
+// header and the `machines` line, at most once each. `arrival` (a
+// submission timestamp in arbitrary units) and `class` (an SLA class label)
+// carry serving metadata for the stream layer — the algorithms ignore both.
 #pragma once
 
 #include <iosfwd>
@@ -71,5 +76,40 @@ struct DirectoryLoad {
 /// inline name get the file's stem as their name. Throws std::runtime_error
 /// when `dir` does not exist or is not a directory.
 DirectoryLoad load_instances_from_dir(const std::string& dir);
+
+/// One record of a concatenated instance stream (see InstanceStreamReader).
+struct StreamRecord {
+  bool ok = false;
+  std::string error;     ///< parse diagnostic when !ok (line numbers are
+                         ///< relative to the record, not the stream)
+  std::size_t line = 0;  ///< 1-based stream line where the record starts
+  std::size_t ordinal = 0;  ///< 0-based record position in the stream
+  Instance instance{{}, 1};  ///< the parsed instance when ok
+};
+
+/// Incremental reader over a stream of concatenated instance records — the
+/// serve-mode input format. A record starts at a `moldable-instance` header
+/// line and runs to the next header (or end of input), so `cat dir/*.inst`
+/// is a valid stream. Malformed records are isolated: a record that fails
+/// to parse (or a stray non-comment line outside any record) is returned
+/// with ok == false and its diagnostic, and reading continues at the next
+/// header — one corrupt record never kills the stream.
+class InstanceStreamReader {
+ public:
+  explicit InstanceStreamReader(std::istream& is) : is_(&is) {}
+
+  /// Reads the next record. Returns false at end of input (record is left
+  /// untouched); otherwise fills `record` and returns true. An unnamed
+  /// instance gets "stream-<ordinal>" as its name.
+  bool next(StreamRecord& record);
+
+ private:
+  std::istream* is_;
+  std::string pending_header_;  ///< lookahead: the next record's header line
+  std::size_t pending_line_ = 0;
+  bool have_pending_ = false;
+  std::size_t lineno_ = 0;
+  std::size_t ordinal_ = 0;
+};
 
 }  // namespace moldable::jobs

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Serve-mode determinism smoke (registered as the `stream_smoke` ctest case):
+# pipes the fixture stream through `batch_service --serve --verify` on 1 and
+# 4 worker threads and asserts both runs print the same rolling digest. Each
+# run also self-checks in-process (--verify re-serves the buffered stream on
+# 1 thread), so a mismatch fails twice over. --memo is on to keep the
+# duplicate-record reuse path inside the determinism contract.
+set -eu
+
+bin=$1
+fixture=$2
+
+run() {
+    "$bin" --serve --verify --memo --window 3 --max-inflight 2 \
+           --threads "$1" < "$fixture"
+}
+
+d1=$(run 1 | grep '^rolling digest:')
+d4=$(run 4 | grep '^rolling digest:')
+
+if [ -z "$d1" ] || [ -z "$d4" ]; then
+    echo "stream_smoke: missing rolling digest line" >&2
+    exit 1
+fi
+if [ "$d1" != "$d4" ]; then
+    echo "stream_smoke: rolling digest differs across thread counts:" >&2
+    echo "  threads=1: $d1" >&2
+    echo "  threads=4: $d4" >&2
+    exit 1
+fi
+echo "stream_smoke OK: $d1 (threads 1 == threads 4)"

@@ -199,6 +199,88 @@ TEST(BatchSolver, PercentilesAreOrdered) {
   EXPECT_LE(s.wall_p50, s.wall_max);
 }
 
+TEST(BatchSolver, MemoServesDuplicatesWithUnchangedDigest) {
+  auto batch = small_batch(5);
+  batch.push_back(batch[1]);  // two intra-batch duplicates
+  batch.push_back(batch[3]);
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+  config.threads = 3;
+
+  const BatchResult plain = BatchSolver().solve(batch, config);
+  EXPECT_EQ(plain.memo_hits, 0u);  // no store, no tally
+
+  exec::MemoStore<InstanceOutcome> store;
+  const BatchResult memo = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(memo.memo_hits, 2u);
+  EXPECT_EQ(memo.memo_misses, 5u);
+  EXPECT_EQ(store.size(), 5u);
+  // Memoization must not move any algorithmic output: identical digest,
+  // identical per-outcome fields, fresh index stamps on the served slots.
+  EXPECT_EQ(memo.digest(), plain.digest());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(memo.outcomes[i].index, i);
+    EXPECT_DOUBLE_EQ(memo.outcomes[i].makespan, plain.outcomes[i].makespan);
+  }
+  // Served slots did not solve: zero compute, and the originals kept theirs.
+  EXPECT_DOUBLE_EQ(memo.outcomes[5].wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(memo.outcomes[6].wall_seconds, 0.0);
+  EXPECT_GT(memo.outcomes[1].wall_seconds, 0.0);
+
+  // Cross-batch reuse: a replay against the same store is all hits, and the
+  // hit/miss tallies are thread-count independent (the plan is serial).
+  BatchConfig serial = config;
+  serial.threads = 1;
+  exec::MemoStore<InstanceOutcome> store2;
+  const BatchResult serial_memo = BatchSolver().solve(batch, serial, &store2);
+  EXPECT_EQ(serial_memo.memo_hits, memo.memo_hits);
+  const BatchResult replay = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(replay.memo_hits, batch.size());
+  EXPECT_EQ(replay.memo_misses, 0u);
+  EXPECT_EQ(replay.digest(), plain.digest());
+}
+
+TEST(BatchSolver, MemoKeyDistinguishesConfigs) {
+  // The same instance under a different algorithm or eps must not alias in
+  // the store: the config is folded into every memo key.
+  const auto batch = small_batch(2);
+  exec::MemoStore<InstanceOutcome> store;
+  BatchConfig a;
+  a.algorithm = "lt-2approx";
+  const BatchResult first = BatchSolver().solve(batch, a, &store);
+  EXPECT_EQ(first.memo_hits, 0u);
+
+  BatchConfig b = a;
+  b.eps = 0.5;
+  const BatchResult other_eps = BatchSolver().solve(batch, b, &store);
+  EXPECT_EQ(other_eps.memo_hits, 0u);  // different eps: no false hits
+
+  BatchConfig c = a;
+  c.algorithm = "mrt";
+  const BatchResult other_algo = BatchSolver().solve(batch, c, &store);
+  EXPECT_EQ(other_algo.memo_hits, 0u);  // different solver: no false hits
+
+  const BatchResult again = BatchSolver().solve(batch, a, &store);
+  EXPECT_EQ(again.memo_hits, batch.size());  // the original config still hits
+}
+
+TEST(BatchSolver, MemoizedFailuresAreServedToo) {
+  // A failing instance (exact over its caps) is cached like any other
+  // outcome — replaying it must not re-run the doomed solve or change
+  // counts.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kMixed, 40, 64, 22));  // over the caps
+  batch.push_back(make_instance(Family::kMixed, 40, 64, 22));  // duplicate
+  BatchConfig config;
+  config.algorithm = "exact";
+  exec::MemoStore<InstanceOutcome> store;
+  const BatchResult r = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(r.failed, 2u);
+  EXPECT_EQ(r.memo_hits, 1u);
+  EXPECT_FALSE(r.outcomes[1].ok);
+  EXPECT_EQ(r.outcomes[1].error, r.outcomes[0].error);
+}
+
 TEST(BatchSolver, QueueAndComputeLatenciesAreSplit) {
   const auto batch = small_batch(30);
   BatchConfig config;

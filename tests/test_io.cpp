@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
@@ -95,6 +97,126 @@ TEST(Io, WriterRejectsOrOmitsUnparseableNames) {
   const Instance once = from_text(to_text(padded_name));
   EXPECT_EQ(once.name(), "web pool");
   EXPECT_EQ(from_text(to_text(once)).name(), "web pool");
+}
+
+TEST(Io, ArrivalAndClassRoundTrip) {
+  Instance inst = make_instance(Family::kAmdahl, 4, 64, 5);
+  inst.set_arrival(12.5);
+  inst.set_sla_class("interactive");
+  const Instance back = from_text(to_text(inst));
+  EXPECT_DOUBLE_EQ(back.arrival(), 12.5);
+  EXPECT_EQ(back.sla_class(), "interactive");
+  // The written form is the round trip's fixed point, metadata included.
+  EXPECT_EQ(to_text(back), to_text(inst));
+}
+
+TEST(Io, MetadataDirectivesAreOptionalAndOrderFree) {
+  const Instance plain = from_text("moldable-instance v1\nmachines 4\njob amdahl 1 0.5\n");
+  EXPECT_DOUBLE_EQ(plain.arrival(), 0.0);
+  EXPECT_TRUE(plain.sla_class().empty());
+  // Defaults are omitted on write: files predating the directives are
+  // byte-identical, and the version token stays v1.
+  EXPECT_EQ(to_text(plain).find("arrival"), std::string::npos);
+  EXPECT_EQ(to_text(plain).find("class"), std::string::npos);
+
+  const Instance reordered = from_text(
+      "moldable-instance v1\nclass batch\narrival 3\nname web pool\nmachines 4\n"
+      "job amdahl 1 0.5\n");
+  EXPECT_EQ(reordered.name(), "web pool");
+  EXPECT_DOUBLE_EQ(reordered.arrival(), 3.0);
+  EXPECT_EQ(reordered.sla_class(), "batch");
+}
+
+TEST(Io, MalformedMetadataDirectivesAreRejected) {
+  const auto bad = [](const std::string& directive) {
+    return "moldable-instance v1\n" + directive + "\nmachines 4\njob amdahl 1 0.5\n";
+  };
+  EXPECT_THROW(from_text(bad("arrival")), std::invalid_argument);        // no value
+  EXPECT_THROW(from_text(bad("arrival -1")), std::invalid_argument);     // negative
+  EXPECT_THROW(from_text(bad("arrival soon")), std::invalid_argument);   // non-numeric
+  EXPECT_THROW(from_text(bad("arrival inf")), std::invalid_argument);    // non-finite
+  EXPECT_THROW(from_text(bad("arrival nan")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("arrival 1 2")), std::invalid_argument);    // trailing junk
+  EXPECT_THROW(from_text(bad("class")), std::invalid_argument);          // no token
+  EXPECT_THROW(from_text(bad("class a b")), std::invalid_argument);      // two tokens
+  EXPECT_THROW(from_text(bad("arrival 1\narrival 2")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("class a\nclass b")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("name x\nname y")), std::invalid_argument);
+  // Errors carry the offending line, like every other parse diagnostic.
+  try {
+    from_text(bad("arrival -1"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Io, InstanceMetadataSettersValidate) {
+  Instance inst = make_instance(Family::kAmdahl, 3, 16, 1);
+  EXPECT_THROW(inst.set_arrival(-0.5), std::invalid_argument);
+  EXPECT_THROW(inst.set_arrival(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(inst.set_arrival(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(inst.set_sla_class("two words"), std::invalid_argument);
+  EXPECT_THROW(inst.set_sla_class("tab\tby"), std::invalid_argument);
+  inst.set_arrival(7);
+  inst.set_sla_class("gold");
+  EXPECT_DOUBLE_EQ(inst.arrival(), 7.0);
+  EXPECT_EQ(inst.sla_class(), "gold");
+  // An explicit "default" is the unlabelled class (one stats bucket, one
+  // round-trip fixed point), not a sibling of it.
+  inst.set_sla_class("default");
+  EXPECT_TRUE(inst.sla_class().empty());
+  const Instance explicit_default = from_text(
+      "moldable-instance v1\nclass default\nmachines 4\njob amdahl 1 0.5\n");
+  EXPECT_TRUE(explicit_default.sla_class().empty());
+  EXPECT_EQ(to_text(explicit_default).find("class"), std::string::npos);
+}
+
+TEST(Io, StreamReaderSplitsConcatenatedRecords) {
+  const Instance a = make_instance(Family::kAmdahl, 4, 64, 1);
+  const Instance b = make_instance(Family::kPowerLaw, 4, 64, 2);
+  std::istringstream stream(to_text(a) + "# between records\n\n" + to_text(b));
+  InstanceStreamReader reader(stream);
+
+  StreamRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.ordinal, 0u);
+  EXPECT_EQ(rec.line, 1u);
+  expect_equivalent(rec.instance, a);
+  ASSERT_TRUE(reader.next(rec));
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.ordinal, 1u);
+  expect_equivalent(rec.instance, b);
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_FALSE(reader.next(rec));  // stays exhausted
+}
+
+TEST(Io, StreamReaderIsolatesMalformedRecordsAndNamesAnonymousOnes) {
+  std::istringstream stream(
+      "stray garbage\n"
+      "moldable-instance v1\nmachines 4\njob bogus 1 2\n"
+      "moldable-instance v1\nmachines 8\njob amdahl 10 0.5\n");
+  InstanceStreamReader reader(stream);
+
+  StreamRecord rec;
+  ASSERT_TRUE(reader.next(rec));  // the stray line is an error record
+  EXPECT_FALSE(rec.ok);
+  EXPECT_EQ(rec.line, 1u);
+  EXPECT_NE(rec.error.find("header"), std::string::npos) << rec.error;
+
+  ASSERT_TRUE(reader.next(rec));  // bad body: isolated, reading continues
+  EXPECT_FALSE(rec.ok);
+  EXPECT_EQ(rec.line, 2u);
+  EXPECT_NE(rec.error.find("unknown job kind"), std::string::npos) << rec.error;
+
+  ASSERT_TRUE(reader.next(rec));  // the good record still parses
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.ordinal, 2u);
+  EXPECT_EQ(rec.instance.name(), "stream-2");  // unnamed -> ordinal name
+  EXPECT_FALSE(reader.next(rec));
 }
 
 TEST(Io, CommentsAndBlankLinesIgnored) {

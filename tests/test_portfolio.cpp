@@ -220,6 +220,80 @@ TEST(PortfolioSolver, WinCountsAndLatencySplitAreConsistent) {
   }
 }
 
+TEST(PortfolioSolver, OrderTieBreakIsDeterministicUnderExactTies) {
+  // Two names bound to the same solver tie on every instance. Under
+  // kPortfolioOrder the first-listed name must win everywhere, run after
+  // run; the combined certificate is unaffected either way.
+  AlgorithmRegistry registry;
+  const SolverFn same = [](const Instance& i, const SolverConfig& c) {
+    return core::schedule_moldable(i, c.eps);
+  };
+  registry.add("first", same);
+  registry.add("second", same);
+
+  const auto batch = small_batch(10);
+  PortfolioConfig pc;
+  pc.variants = {"second", "first"};  // deliberately not alphabetical
+  pc.tie_break = TieBreak::kPortfolioOrder;
+  pc.threads = 3;
+
+  for (int run = 0; run < 3; ++run) {
+    const PortfolioResult r = PortfolioSolver(registry).solve(batch, pc);
+    EXPECT_EQ(r.solved, batch.size());
+    for (const PortfolioOutcome& o : r.outcomes) EXPECT_EQ(o.winner, "second") << o.index;
+    ASSERT_EQ(r.per_variant.size(), 2u);
+    EXPECT_EQ(r.per_variant[0].wins, batch.size());  // "second" is listed first
+    EXPECT_EQ(r.per_variant[1].wins, 0u);
+  }
+
+  // The tie-break changes only the label: digests match the wall-time mode.
+  PortfolioConfig wall = pc;
+  wall.tie_break = TieBreak::kWallTime;
+  EXPECT_EQ(PortfolioSolver(registry).solve(batch, pc).digest(),
+            PortfolioSolver(registry).solve(batch, wall).digest());
+}
+
+TEST(PortfolioSolver, WallPercentileLadderIncludesP90) {
+  const auto batch = small_batch(30);
+  PortfolioConfig pc;
+  pc.variants = {"algorithm1", "lt-2approx"};
+  pc.threads = 2;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  for (const VariantStats& s : r.per_variant) {
+    EXPECT_LE(s.wall_p50, s.wall_p90) << s.algorithm;
+    EXPECT_LE(s.wall_p90, s.wall_p99) << s.algorithm;
+    EXPECT_LE(s.wall_p99, s.wall_max) << s.algorithm;
+    EXPECT_GT(s.wall_p90, 0) << s.algorithm;  // 30 attempts: p90 is a real sample
+  }
+}
+
+TEST(PortfolioSolver, MemoServesDuplicatesWithUnchangedDigest) {
+  auto batch = small_batch(6);
+  batch.push_back(batch[2]);  // intra-batch duplicate
+  PortfolioConfig pc;
+  pc.variants = {"mrt", "lt-2approx"};
+  pc.threads = 3;
+
+  const PortfolioResult plain = PortfolioSolver().solve(batch, pc);
+  exec::MemoStore<PortfolioOutcome> store;
+  const PortfolioResult memo = PortfolioSolver().solve(batch, pc, &store);
+  EXPECT_EQ(plain.memo_hits, 0u);
+  EXPECT_EQ(memo.memo_hits, 1u);
+  EXPECT_EQ(memo.memo_misses, 6u);
+  EXPECT_EQ(memo.digest(), plain.digest());
+  // The served slot reports zero racing cost but the full outcome.
+  const PortfolioOutcome& served = memo.outcomes.back();
+  EXPECT_TRUE(served.ok);
+  EXPECT_EQ(served.winner, memo.outcomes[2].winner);
+  EXPECT_DOUBLE_EQ(served.compute_seconds, 0.0);
+
+  // A second batch against the same store hits on every stored instance.
+  const PortfolioResult replay = PortfolioSolver().solve(batch, pc, &store);
+  EXPECT_EQ(replay.memo_hits, batch.size());
+  EXPECT_EQ(replay.memo_misses, 0u);
+  EXPECT_EQ(replay.digest(), plain.digest());
+}
+
 TEST(PortfolioSolver, ZeroJobInstanceMatchesBatchSolverRatioConvention) {
   // A zero-job instance has lower bound 0; both engines must report the
   // core convention (ratio 1), or the single-variant equivalence breaks.

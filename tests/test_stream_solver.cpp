@@ -1,0 +1,331 @@
+// Stream-engine tests: window cutting (window=1, window>input, drain),
+// malformed-record isolation mid-stream, the rolling digest's equality with
+// a one-shot batch digest over the concatenated windows, arrival-ordered
+// grouping inside the bounded reorder horizon, the memo hit path, and the
+// per-SLA-class latency aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/engine/batch_solver.hpp"
+#include "src/engine/portfolio.hpp"
+#include "src/engine/stream_solver.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/jobs/io.hpp"
+
+namespace moldable::engine {
+namespace {
+
+using jobs::Family;
+using jobs::Instance;
+using jobs::make_instance;
+
+std::vector<Instance> small_batch(std::size_t count, procs_t m = 64) {
+  std::vector<Instance> batch;
+  const auto families = jobs::all_families();
+  for (std::size_t i = 0; i < count; ++i)
+    batch.push_back(make_instance(families[i % families.size()], 16, m, 100 + i));
+  return batch;
+}
+
+/// Serializes instances into a serve-mode stream (concatenated records).
+std::string to_stream(const std::vector<Instance>& instances) {
+  std::string text;
+  for (const Instance& inst : instances) text += jobs::to_text(inst);
+  return text;
+}
+
+StreamResult run_stream(const std::string& text, const StreamConfig& config) {
+  std::istringstream input(text);
+  return StreamSolver().run(input, config);
+}
+
+TEST(StreamSolver, WindowBoundaries) {
+  const auto batch = small_batch(5);
+  const std::string text = to_stream(batch);
+
+  StreamConfig config;
+  config.threads = 2;
+
+  config.window = 2;  // 5 instances -> windows of 2, 2, 1
+  StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.windows, 3u);
+  ASSERT_EQ(r.window_stats.size(), 3u);
+  EXPECT_EQ(r.window_stats[0].instances, 2u);
+  EXPECT_EQ(r.window_stats[1].instances, 2u);
+  EXPECT_EQ(r.window_stats[2].instances, 1u);  // end-of-input drain
+  EXPECT_EQ(r.instances, 5u);
+  EXPECT_EQ(r.solved, 5u);
+
+  config.window = 1;  // degenerate: one instance per window
+  r = run_stream(text, config);
+  EXPECT_EQ(r.windows, 5u);
+  for (const WindowStats& w : r.window_stats) EXPECT_EQ(w.instances, 1u);
+
+  config.window = 100;  // window larger than the whole input: one shot
+  r = run_stream(text, config);
+  EXPECT_EQ(r.windows, 1u);
+  EXPECT_EQ(r.window_stats[0].instances, 5u);
+}
+
+TEST(StreamSolver, EmptyStreamMatchesEmptyBatch) {
+  StreamConfig config;
+  const StreamResult r = run_stream("", config);
+  EXPECT_EQ(r.windows, 0u);
+  EXPECT_EQ(r.instances, 0u);
+  EXPECT_EQ(r.malformed, 0u);
+  EXPECT_EQ(r.rolling_digest, BatchSolver().solve({}, {}).digest());
+}
+
+TEST(StreamSolver, RollingDigestEqualsOneShotBatchDigest) {
+  // No arrival metadata -> the stable sort preserves stream order, so the
+  // concatenated windows are exactly the input batch, and the rolling
+  // digest must equal BatchSolver's one-shot digest over it — the window
+  // cuts must leave no trace.
+  const auto batch = small_batch(11);
+  const std::string text = to_stream(batch);
+
+  BatchConfig one_shot;
+  one_shot.threads = 3;
+  const std::uint64_t expected = BatchSolver().solve(batch, one_shot).digest();
+
+  for (const std::size_t window : {1ul, 3ul, 4ul, 11ul, 64ul}) {
+    StreamConfig config;
+    config.window = window;
+    config.threads = 3;
+    const StreamResult r = run_stream(text, config);
+    EXPECT_EQ(r.rolling_digest, expected) << "window=" << window;
+    EXPECT_EQ(r.solved, batch.size()) << "window=" << window;
+  }
+}
+
+TEST(StreamSolver, RollingDigestIsThreadCountIndependent) {
+  const std::string text = to_stream(small_batch(10));
+  StreamConfig serial;
+  serial.window = 3;
+  serial.threads = 1;
+  StreamConfig parallel = serial;
+  parallel.threads = 5;
+  const StreamResult a = run_stream(text, serial);
+  const StreamResult b = run_stream(text, parallel);
+  EXPECT_EQ(a.rolling_digest, b.rolling_digest);
+  ASSERT_EQ(a.window_stats.size(), b.window_stats.size());
+  for (std::size_t w = 0; w < a.window_stats.size(); ++w) {
+    EXPECT_EQ(a.window_stats[w].digest, b.window_stats[w].digest) << w;
+    EXPECT_EQ(a.window_stats[w].rolling_digest, b.window_stats[w].rolling_digest) << w;
+  }
+}
+
+TEST(StreamSolver, MalformedRecordIsIsolatedMidStream) {
+  const auto good = small_batch(2);
+  std::string text = jobs::to_text(good[0]);
+  const std::size_t bad_record_line = 1 + std::count(text.begin(), text.end(), '\n');
+  text += "moldable-instance v1\nmachines 4\njob bogus 1 2\n";  // malformed body
+  text += jobs::to_text(good[1]);
+
+  StreamConfig config;
+  config.window = 10;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.malformed, 1u);
+  EXPECT_EQ(r.instances, 2u);
+  EXPECT_EQ(r.solved, 2u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].ordinal, 1u);
+  EXPECT_EQ(r.errors[0].line, bad_record_line);
+  EXPECT_NE(r.errors[0].message.find("unknown job kind"), std::string::npos)
+      << r.errors[0].message;
+
+  // The skipped record must leave no trace in the digest: the stream result
+  // equals a one-shot batch over just the two good instances.
+  EXPECT_EQ(r.rolling_digest, BatchSolver().solve(good, {}).digest());
+}
+
+TEST(StreamSolver, StrayTextOutsideRecordsIsReportedNotSilentlySkipped) {
+  std::string text = "not a record\n";
+  text += to_stream(small_batch(1));
+  StreamConfig config;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.malformed, 1u);
+  EXPECT_EQ(r.solved, 1u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].message.find("header"), std::string::npos);
+}
+
+TEST(StreamSolver, ArrivalOrdersWindowsInsideTheHorizon) {
+  // Four instances stamped in reverse arrival order, all inside one reorder
+  // horizon (window 2 x max_inflight 2): the stream layer must serve them
+  // arrival-sorted, so the rolling digest equals a one-shot batch over the
+  // arrival-sorted vector — and differs from stream order.
+  auto batch = small_batch(4);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].set_arrival(static_cast<double>(batch.size() - i));
+  const std::string text = to_stream(batch);
+
+  std::vector<Instance> by_arrival(batch.rbegin(), batch.rend());
+  const std::uint64_t sorted_digest = BatchSolver().solve(by_arrival, {}).digest();
+  const std::uint64_t stream_order_digest = BatchSolver().solve(batch, {}).digest();
+  ASSERT_NE(sorted_digest, stream_order_digest);  // distinct instances: orders differ
+
+  StreamConfig config;
+  config.window = 2;
+  config.max_inflight = 2;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.rolling_digest, sorted_digest);
+}
+
+TEST(StreamSolver, ReorderHorizonIsBounded) {
+  // Same reversed arrivals, but a horizon of one single-instance window:
+  // nothing can be reordered, so the stream stays in stream order — the
+  // arrival sort must not see beyond the buffered horizon.
+  auto batch = small_batch(4);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].set_arrival(static_cast<double>(batch.size() - i));
+  StreamConfig config;
+  config.window = 1;
+  config.max_inflight = 1;
+  const StreamResult r = run_stream(to_stream(batch), config);
+  EXPECT_EQ(r.rolling_digest, BatchSolver().solve(batch, {}).digest());
+}
+
+TEST(StreamSolver, MemoServesDuplicatesWithUnchangedDigest) {
+  auto batch = small_batch(3);
+  batch.push_back(batch[0]);  // duplicate in a later window
+  batch.push_back(batch[1]);
+  const std::string text = to_stream(batch);
+
+  StreamConfig config;
+  config.window = 3;
+  StreamConfig memoized = config;
+  memoized.memo = true;
+
+  const StreamResult plain = run_stream(text, config);
+  const StreamResult memo = run_stream(text, memoized);
+  EXPECT_EQ(plain.memo_hits, 0u);
+  EXPECT_EQ(plain.memo_misses, 0u);
+  EXPECT_EQ(memo.memo_hits, 2u);  // both duplicates served from the store
+  EXPECT_EQ(memo.memo_misses, 3u);
+  ASSERT_EQ(memo.window_stats.size(), 2u);
+  EXPECT_EQ(memo.window_stats[1].memo_hits, 2u);
+  // Memoization must be invisible to every algorithmic output.
+  EXPECT_EQ(memo.rolling_digest, plain.rolling_digest);
+  EXPECT_EQ(memo.solved, plain.solved);
+}
+
+TEST(StreamSolver, MemoDeduplicatesUnnamedRecords) {
+  // Unnamed records get distinct auto-names ("stream-<ordinal>"), which
+  // must not defeat memoization: the memo key covers content, not the name.
+  const std::string record =
+      "moldable-instance v1\nmachines 32\njob amdahl 6 0.4\njob powerlaw 4 0.5\n";
+  StreamConfig config;
+  config.window = 1;
+  config.memo = true;
+  const StreamResult r = run_stream(record + record + record, config);
+  EXPECT_EQ(r.solved, 3u);
+  EXPECT_EQ(r.memo_misses, 1u);
+  EXPECT_EQ(r.memo_hits, 2u);
+}
+
+TEST(StreamSolver, PortfolioModeRollsTheSameDigestAsOneShot) {
+  const auto batch = small_batch(8);
+  const std::string text = to_stream(batch);
+
+  PortfolioConfig one_shot;
+  one_shot.variants = {"mrt", "lt-2approx"};
+  const std::uint64_t expected = PortfolioSolver().solve(batch, one_shot).digest();
+
+  StreamConfig config;
+  config.window = 3;
+  config.variants = {"mrt", "lt-2approx"};
+  config.threads = 4;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.rolling_digest, expected);
+  EXPECT_EQ(r.solved, batch.size());
+
+  StreamConfig serial = config;
+  serial.threads = 1;
+  EXPECT_EQ(run_stream(text, serial).rolling_digest, r.rolling_digest);
+}
+
+TEST(StreamSolver, PerClassLatencySplits) {
+  auto batch = small_batch(6);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (i % 2 == 0) batch[i].set_sla_class("interactive");
+  // Odd indices stay unlabelled -> "default".
+  const std::string text = to_stream(batch);
+
+  StreamConfig config;
+  config.window = 4;
+  const StreamResult r = run_stream(text, config);
+  ASSERT_EQ(r.per_class.size(), 2u);  // sorted: "" (default) before "interactive"
+  EXPECT_EQ(r.per_class[0].sla_class, "default");
+  EXPECT_EQ(r.per_class[0].count, 3u);
+  EXPECT_EQ(r.per_class[0].solved, 3u);
+  EXPECT_EQ(r.per_class[1].sla_class, "interactive");
+  EXPECT_EQ(r.per_class[1].count, 3u);
+  for (const ClassStats& c : r.per_class) {
+    EXPECT_LE(c.queue.p50, c.queue.p99);
+    EXPECT_LE(c.queue.p99, c.queue.max);
+    EXPECT_LE(c.compute.p50, c.compute.p99);
+    EXPECT_LE(c.compute.p99, c.compute.max);
+    EXPECT_GE(c.compute.p50, 0);
+  }
+}
+
+TEST(StreamSolver, PerInstanceFailureIsIsolated) {
+  // `exact` hard-caps at tiny instances: the oversized middle record fails
+  // alone; the stream keeps serving.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 21));
+  batch.push_back(make_instance(Family::kMixed, 40, 64, 22));  // over the caps
+  batch.push_back(make_instance(Family::kMixed, 4, 8, 23));
+  StreamConfig config;
+  config.window = 2;
+  config.algorithm = "exact";
+  const StreamResult r = run_stream(to_stream(batch), config);
+  EXPECT_EQ(r.solved, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.rolling_digest, [&] {
+    BatchConfig bc;
+    bc.algorithm = "exact";
+    return BatchSolver().solve(batch, bc).digest();
+  }());
+}
+
+TEST(StreamSolver, InvalidConfigThrowsBeforeConsumingInput) {
+  const std::string text = to_stream(small_batch(2));
+  const auto expect_throw_without_reading = [&](const StreamConfig& config) {
+    std::istringstream input(text);
+    EXPECT_THROW(StreamSolver().run(input, config), std::invalid_argument);
+    // The stream was not touched: the next reader still sees every record.
+    jobs::InstanceStreamReader reader(input);
+    jobs::StreamRecord record;
+    std::size_t records = 0;
+    while (reader.next(record)) ++records;
+    EXPECT_EQ(records, 2u);
+  };
+
+  StreamConfig zero_window;
+  zero_window.window = 0;
+  expect_throw_without_reading(zero_window);
+
+  StreamConfig zero_inflight;
+  zero_inflight.max_inflight = 0;
+  expect_throw_without_reading(zero_inflight);
+
+  StreamConfig bad_eps;
+  bad_eps.eps = 1.5;
+  expect_throw_without_reading(bad_eps);
+
+  StreamConfig unknown;
+  unknown.algorithm = "no-such-solver";
+  expect_throw_without_reading(unknown);
+
+  StreamConfig dup_variants;
+  dup_variants.variants = {"mrt", "mrt"};
+  expect_throw_without_reading(dup_variants);
+}
+
+}  // namespace
+}  // namespace moldable::engine
