@@ -20,6 +20,13 @@
 // --memo turns on the execution core's digest-keyed memoization: duplicate
 // instances (within a batch, or across serve windows) reuse the prior
 // outcome, with hit/miss counts reported. Digests are unchanged by design.
+// --memo-capacity N bounds the store under deterministic LRU eviction, and
+// --window-history K caps the retained per-window stats — together they make
+// an endless --serve session run in bounded memory (per-class latency
+// percentiles are streaming sketches unless --raw-samples lifts the bound).
+// --deadline CLASS=SECONDS gives an SLA class a relative deadline: its
+// instances jump the reorder buffer, and late completions are counted per
+// class, per window, and stream-wide.
 //
 // Latency columns split per-instance time into queue (batch submission ->
 // shard pickup, steady clock) and compute (pure solve) so percentiles stay
@@ -38,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -80,10 +88,15 @@ struct Options {
   std::size_t window = 16;      // serve: micro-batch size
   std::size_t max_inflight = 4; // serve: reorder horizon in windows
   bool memo = false;            // digest-keyed memoization
+  std::size_t memo_capacity = 0;   // LRU bound on the memo store; 0 = unbounded
+  std::size_t window_history = 0;  // serve: retained window stats/errors; 0 = all
+  bool raw_samples = false;        // serve: exact per-class percentiles
+  std::map<std::string, double> deadlines;  // serve: --deadline CLASS=SECONDS
   TieBreak tie_break = TieBreak::kWallTime;
   bool algorithm_set = false;  // --algorithm given explicitly
   bool synthetic_set = false;  // any of --instances/--jobs/--machines/--seed given
   bool window_set = false;     // --window/--max-inflight given
+  bool serve_only_set = false; // --window-history/--raw-samples/--deadline given
   bool tie_break_set = false;  // --tie-break given
 };
 
@@ -108,6 +121,19 @@ void usage(const char* argv0) {
             << "                  portfolio order — reproducible win counts)\n"
             << "  --memo          reuse outcomes of duplicate instances\n"
             << "                  (digest-keyed; reports hit/miss counts)\n"
+            << "  --memo-capacity N  bound the memo store to N outcomes under\n"
+            << "                  deterministic LRU eviction (implies --memo;\n"
+            << "                  0 = unbounded, the default)\n"
+            << "  --window-history K  serve: retain only the last K windows'\n"
+            << "                  stats and error diagnostics (0 = all); with\n"
+            << "                  --memo-capacity this bounds an endless serve\n"
+            << "                  session's memory\n"
+            << "  --deadline C=S  serve: give SLA class C a relative deadline of\n"
+            << "                  S seconds — its instances jump the reorder\n"
+            << "                  buffer and late completions count as deadline\n"
+            << "                  misses (repeatable; C 'default' = unlabelled)\n"
+            << "  --raw-samples   serve: exact per-class percentiles from raw\n"
+            << "                  samples instead of bounded sketches\n"
             << "  --eps E         approximation parameter in (0,1] (default 0.1)\n"
             << "  --threads T     worker threads, 0 = hardware (default 0)\n"
             << "  --seed S        base RNG seed for synthetic batches (default 42)\n"
@@ -148,6 +174,27 @@ Options parse(int argc, char** argv) {
     else if (arg == "--window") { opt.window = std::stoull(value()); opt.window_set = true; }
     else if (arg == "--max-inflight") { opt.max_inflight = std::stoull(value()); opt.window_set = true; }
     else if (arg == "--memo") opt.memo = true;
+    else if (arg == "--memo-capacity") {
+      opt.memo_capacity = std::stoull(value());
+      opt.memo = true;  // a capacity without memoization would be inert
+    }
+    else if (arg == "--window-history") { opt.window_history = std::stoull(value()); opt.serve_only_set = true; }
+    else if (arg == "--raw-samples") { opt.raw_samples = true; opt.serve_only_set = true; }
+    else if (arg == "--deadline") {
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 == spec.size()) {
+        std::cerr << "--deadline needs CLASS=SECONDS, got '" << spec << "'\n";
+        std::exit(2);
+      }
+      try {
+        opt.deadlines[spec.substr(0, eq)] = std::stod(spec.substr(eq + 1));
+      } catch (const std::exception&) {
+        std::cerr << "--deadline needs a numeric SECONDS, got '" << spec << "'\n";
+        std::exit(2);
+      }
+      opt.serve_only_set = true;
+    }
     else if (arg == "--tie-break") {
       const std::string mode = value();
       if (mode == "wall") opt.tie_break = TieBreak::kWallTime;
@@ -233,9 +280,12 @@ void print_digest_line(std::size_t solved, std::size_t failed, double wall_secon
             << " threads)\ndigest: " << fmt_digest(digest) << "\n";
 }
 
-void print_memo_line(std::size_t hits, std::size_t misses) {
-  std::cout << "memo: " << hits << " hit(s), " << misses
-            << " miss(es) (duplicate instances served from the cache)\n";
+void print_memo_line(std::size_t hits, std::size_t misses, std::size_t evictions,
+                     std::size_t capacity) {
+  std::cout << "memo: " << hits << " hit(s), " << misses << " miss(es), " << evictions
+            << " eviction(s)";
+  if (capacity != 0) std::cout << " (LRU capacity " << capacity << ")";
+  std::cout << "\n";
 }
 
 int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& batch) {
@@ -245,7 +295,8 @@ int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& 
   config.threads = opt.threads;
 
   const BatchSolver solver;
-  moldable::engine::exec::MemoStore<moldable::engine::InstanceOutcome> memo;
+  moldable::engine::exec::MemoStore<moldable::engine::InstanceOutcome> memo(
+      opt.memo_capacity);
   const BatchResult result = solver.solve(batch, config, opt.memo ? &memo : nullptr);
 
   moldable::util::Table table({"algorithm", "solved", "failed", "ratio-mean", "ratio-p50",
@@ -269,7 +320,9 @@ int run_single(const Options& opt, const std::vector<moldable::jobs::Instance>& 
   else
     table.print(std::cout);
 
-  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
+  if (opt.memo)
+    print_memo_line(result.memo_hits, result.memo_misses, memo.evictions(),
+                    opt.memo_capacity);
   print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
                     result.digest());
   for (const auto& o : result.outcomes)
@@ -289,7 +342,8 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
   config.tie_break = opt.tie_break;
 
   const PortfolioSolver solver;
-  moldable::engine::exec::MemoStore<moldable::engine::PortfolioOutcome> memo;
+  moldable::engine::exec::MemoStore<moldable::engine::PortfolioOutcome> memo(
+      opt.memo_capacity);
   const PortfolioResult result = solver.solve(batch, config, opt.memo ? &memo : nullptr);
 
   moldable::util::Table table({"variant", "wins", "solved", "failed", "gap-mean",
@@ -315,7 +369,9 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
             << " ms, p99 " << moldable::util::fmt(result.queue_p99 * 1e3)
             << " ms, max " << moldable::util::fmt(result.queue_max * 1e3)
             << " ms (shard pickup, shared by all variants of an instance)\n";
-  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
+  if (opt.memo)
+    print_memo_line(result.memo_hits, result.memo_misses, memo.evictions(),
+                    opt.memo_capacity);
   print_digest_line(result.solved, result.failed, result.wall_seconds, opt.threads,
                     result.digest());
   for (const auto& o : result.outcomes) {
@@ -341,6 +397,10 @@ StreamConfig make_stream_config(const Options& opt) {
   config.eps = opt.eps;
   config.threads = opt.threads;
   config.memo = opt.memo;
+  config.memo_capacity = opt.memo_capacity;
+  config.window_history = opt.window_history;
+  config.raw_samples = opt.raw_samples;
+  config.class_deadlines = opt.deadlines;
   config.tie_break = opt.tie_break;
   return config;
 }
@@ -353,7 +413,11 @@ int run_serve(const Options& opt) {
     std::cout << "window " << w.index << ": " << w.instances << " inst, " << w.solved
               << " solved, " << w.failed << " failed in "
               << moldable::util::fmt(w.wall_seconds * 1e3) << " ms";
-    if (opt.memo) std::cout << ", memo " << w.memo_hits << "/" << w.memo_misses;
+    if (opt.memo) {
+      std::cout << ", memo " << w.memo_hits << "/" << w.memo_misses;
+      if (w.memo_evictions != 0) std::cout << " (-" << w.memo_evictions << ")";
+    }
+    if (!opt.deadlines.empty()) std::cout << ", " << w.deadline_misses << " late";
     std::cout << ", rolling digest " << fmt_digest(w.rolling_digest) << "\n";
   };
   const auto on_error = [](const moldable::engine::StreamError& e) {
@@ -391,15 +455,26 @@ int run_serve(const Options& opt) {
             << moldable::util::fmt(result.wall_seconds, 3) << " s ("
             << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
             << " threads)\n";
-  if (opt.memo) print_memo_line(result.memo_hits, result.memo_misses);
+  if (opt.memo)
+    print_memo_line(result.memo_hits, result.memo_misses, result.memo_evictions,
+                    opt.memo_capacity);
+  if (!opt.deadlines.empty())
+    std::cout << "deadlines: " << result.deadline_misses
+              << " miss(es) across all deadline classes\n";
 
   if (!result.per_class.empty()) {
-    moldable::util::Table table({"class", "count", "solved", "failed", "queue-p50-ms",
-                                 "queue-p99-ms", "compute-p50-ms", "compute-p90-ms",
-                                 "compute-p99-ms", "compute-max-ms"});
+    moldable::util::Table table({"class", "count", "solved", "failed", "deadline-ms",
+                                 "misses", "queue-p50-ms", "queue-p99-ms",
+                                 "compute-p50-ms", "compute-p90-ms", "compute-p99-ms",
+                                 "compute-max-ms"});
     for (const auto& c : result.per_class) {
       table.add_row({c.sla_class, std::to_string(c.count), std::to_string(c.solved),
-                     std::to_string(c.failed), moldable::util::fmt(c.queue.p50 * 1e3),
+                     std::to_string(c.failed),
+                     c.deadline_seconds > 0
+                         ? moldable::util::fmt(c.deadline_seconds * 1e3)
+                         : std::string("-"),
+                     std::to_string(c.deadline_misses),
+                     moldable::util::fmt(c.queue.p50 * 1e3),
                      moldable::util::fmt(c.queue.p99 * 1e3),
                      moldable::util::fmt(c.compute.p50 * 1e3),
                      moldable::util::fmt(c.compute.p90 * 1e3),
@@ -438,6 +513,9 @@ int main(int argc, char** argv) {
     }
     if (opt.window_set)
       std::cerr << "warning: --window/--max-inflight only affect --serve mode\n";
+    if (opt.serve_only_set)
+      std::cerr << "warning: --window-history/--raw-samples/--deadline only "
+                   "affect --serve mode\n";
     if (!opt.input.empty() && opt.synthetic_set)
       std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
                    "when --input is given (the batch comes from the files)\n";

@@ -142,16 +142,25 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
       });
   result.wall_seconds = timing.wall_seconds;
 
-  // Serial finalize: stamp indices and pickup times, serve memoized slots
-  // (from the store or from the earlier duplicate slot — already final,
-  // since its index is smaller), and record fresh outcomes in the store.
+  // Serial finalize, two passes. Pass 1 serves every store-promised slot
+  // before anything is inserted: under a bounded (LRU) store, recording a
+  // fresh outcome can evict an entry the plan promised to serve — plan_memo
+  // probed the store before the shard loop ran — so all store reads must
+  // precede the first write.
+  if (memo) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (plan.source[i] != exec::MemoPlan::kFromStore) continue;
+      result.outcomes[i] = *memo->find(plan.key[i]);
+      result.outcomes[i].wall_seconds = 0;  // served, not solved
+    }
+  }
+  // Pass 2: serve in-batch duplicates (slot j < i is already final —
+  // computed, or store-served in pass 1), stamp indices and pickup times,
+  // and record fresh outcomes in the store (possibly evicting).
   for (std::size_t i = 0; i < batch.size(); ++i) {
     InstanceOutcome& out = result.outcomes[i];
-    if (memo && !plan.computes(i)) {
-      const InstanceOutcome* cached = plan.source[i] == exec::MemoPlan::kFromStore
-                                          ? memo->find(plan.key[i])
-                                          : &result.outcomes[plan.source[i]];
-      out = *cached;
+    if (memo && !plan.computes(i) && plan.source[i] != exec::MemoPlan::kFromStore) {
+      out = result.outcomes[plan.source[i]];
       out.wall_seconds = 0;  // served, not solved
     }
     out.index = i;

@@ -26,8 +26,10 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/jobs/instance.hpp"
@@ -114,26 +116,63 @@ struct MemoPlan {
 /// under that key. Owned by the caller (the stream layer keeps one alive
 /// across windows); not thread-safe by design — all access happens in the
 /// serial plan/finalize phases around the shard loop, never inside it.
+///
+/// A nonzero `capacity` bounds the store to that many outcomes under LRU
+/// eviction (capacity 0 = unbounded, the replay-run default). Recency is
+/// updated by `find` and `insert` only — both run in the serial finalize
+/// phase, in batch order — so the eviction sequence, and with it every
+/// hit/miss/eviction count, is a pure function of the instance sequence and
+/// independent of the thread count. `contains` (the plan-phase probe) is
+/// deliberately recency-neutral: planning must not perturb the store.
+///
+/// Callers that both read hits and insert fresh outcomes in one finalize
+/// must perform ALL reads before the first insert (see BatchSolver's
+/// finalize): an insert may evict an entry the plan promised to serve.
 template <typename Outcome>
 class MemoStore {
  public:
+  explicit MemoStore(std::size_t capacity = 0) : capacity_(capacity) {}
+
   bool contains(std::uint64_t key) const { return map_.count(key) != 0; }
 
-  const Outcome* find(std::uint64_t key) const {
+  /// Looks the key up and, when present, marks it most-recently-used.
+  const Outcome* find(std::uint64_t key) {
     const auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
   }
 
-  /// First insertion wins; re-inserting an existing key is a no-op (the
-  /// solvers are pure, so a second outcome under the same key is identical).
+  /// First insertion wins; re-inserting an existing key only refreshes its
+  /// recency (the solvers are pure, so a second outcome under the same key
+  /// is identical). A fresh insertion over capacity evicts the least
+  /// recently used entry.
   void insert(std::uint64_t key, const Outcome& outcome) {
-    map_.emplace(key, outcome);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, outcome);
+    map_.emplace(key, lru_.begin());
+    if (capacity_ != 0 && lru_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
   }
 
   std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }  ///< 0 = unbounded
+  std::size_t evictions() const { return evictions_; }
 
  private:
-  std::unordered_map<std::uint64_t, Outcome> map_;
+  std::size_t capacity_ = 0;
+  std::size_t evictions_ = 0;
+  std::list<std::pair<std::uint64_t, Outcome>> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t,
+                     typename std::list<std::pair<std::uint64_t, Outcome>>::iterator>
+      map_;
 };
 
 /// Builds the memo plan for one batch: serially keys every instance, marks

@@ -224,16 +224,24 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
       });
   result.wall_seconds = timing.wall_seconds;
 
-  // Serial finalize, mirroring BatchSolver: stamp index/queue, serve
-  // memoized slots (zeroing the racing cost — nothing was raced), store
-  // fresh outcomes.
+  // Serial finalize, mirroring BatchSolver's two passes: serve every
+  // store-promised slot before the first insertion (a bounded store may
+  // evict a promised entry when fresh outcomes are recorded), then resolve
+  // in-batch duplicates, stamp index/queue, and store fresh outcomes.
+  // Served slots zero the racing cost — nothing was raced.
+  if (memo) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (plan.source[i] != exec::MemoPlan::kFromStore) continue;
+      PortfolioOutcome& out = result.outcomes[i];
+      out = *memo->find(plan.key[i]);
+      out.compute_seconds = 0;
+      for (VariantAttempt& a : out.attempts) a.wall_seconds = 0;
+    }
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     PortfolioOutcome& out = result.outcomes[i];
-    if (memo && !plan.computes(i)) {
-      const PortfolioOutcome* cached = plan.source[i] == exec::MemoPlan::kFromStore
-                                           ? memo->find(plan.key[i])
-                                           : &result.outcomes[plan.source[i]];
-      out = *cached;
+    if (memo && !plan.computes(i) && plan.source[i] != exec::MemoPlan::kFromStore) {
+      out = result.outcomes[plan.source[i]];
       out.compute_seconds = 0;
       for (VariantAttempt& a : out.attempts) a.wall_seconds = 0;
     }

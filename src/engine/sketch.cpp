@@ -1,0 +1,130 @@
+#include "src/engine/sketch.hpp"
+
+#include <algorithm>
+
+namespace moldable::engine {
+
+namespace detail {
+
+P2Estimator::P2Estimator(double quantile) : quantile_(quantile) {}
+
+void P2Estimator::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      const double p = quantile_;
+      desired_[0] = 1;
+      desired_[1] = 1 + 2 * p;
+      desired_[2] = 1 + 4 * p;
+      desired_[3] = 3 + 2 * p;
+      desired_[4] = 5;
+      increments_[0] = 0;
+      increments_[1] = p / 2;
+      increments_[2] = p;
+      increments_[3] = (1 + p) / 2;
+      increments_[4] = 1;
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell, extending the extreme markers when x falls outside.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && heights_[k + 1] <= x) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) prediction, falling back to linear when
+  // the parabola would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double s = d >= 0 ? 1 : -1;
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Estimator::estimate() const {
+  if (count_ >= 5) return heights_[2];
+  if (count_ == 0) return 0;
+  double sorted[5];
+  std::copy(heights_, heights_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  return sorted[count_ / 2];
+}
+
+}  // namespace detail
+
+QuantileSketch::QuantileSketch(std::size_t exact_threshold)
+    : exact_threshold_(std::max<std::size_t>(exact_threshold, 5)),
+      p50_(0.50),
+      p90_(0.90),
+      p99_(0.99) {}
+
+void QuantileSketch::add(double x) {
+  max_ = count_ == 0 ? x : std::max(max_, x);
+  ++count_;
+  if (exact_) {
+    buffer_.push_back(x);
+    if (buffer_.size() > exact_threshold_) spill();
+    return;
+  }
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+}
+
+void QuantileSketch::spill() {
+  for (double x : buffer_) {
+    p50_.add(x);
+    p90_.add(x);
+    p99_.add(x);
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  exact_ = false;
+}
+
+exec::Percentiles QuantileSketch::summary() const {
+  exec::Percentiles p;
+  if (count_ == 0) return p;
+  if (exact_) {
+    std::vector<double> samples = buffer_;
+    return exec::percentiles_of(samples);
+  }
+  p.p50 = p50_.estimate();
+  p.p90 = std::max(p90_.estimate(), p.p50);
+  p.p99 = std::max(p99_.estimate(), p.p90);
+  p.max = max_;
+  return p;
+}
+
+}  // namespace moldable::engine

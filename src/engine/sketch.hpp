@@ -1,0 +1,99 @@
+// Streaming percentile sketches: bounded-memory quantile estimation for the
+// endless serve loop.
+//
+// The stream layer used to accumulate every latency sample per SLA class and
+// sort them at the end — O(instances) state, fine for a finite replay but
+// unacceptable for an endless `--serve` session. QuantileSketch replaces the
+// raw vectors with O(1) state per tracked quantile:
+//
+//   * below an exact-sample threshold it buffers the raw samples and
+//     computes nearest-rank percentiles exactly — bitwise identical to
+//     exec::percentiles_of, so small-run outputs are unchanged by
+//     construction;
+//   * past the threshold it seeds one P² estimator (Jain & Chlamtac, CACM
+//     1985) per tracked quantile from the buffered prefix, frees the buffer,
+//     and from then on maintains five markers per quantile under parabolic
+//     (falling back to linear) interpolation — constant memory regardless of
+//     stream length;
+//   * the observed maximum and the sample count are always tracked exactly.
+//
+// Everything here is deterministic: the estimate is a pure function of the
+// sample sequence (insertion order matters to P², and every caller feeds
+// samples in a serial, deterministic order). The sketch exposes its summary
+// through the same exec::Percentiles shape every stats table already uses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/engine/exec_core.hpp"
+
+namespace moldable::engine {
+
+namespace detail {
+
+/// One P² marker bank tracking a single quantile p. Callers must feed at
+/// least 5 samples before reading the estimate (QuantileSketch guarantees
+/// this via its exact-mode threshold, which is clamped to >= 5).
+class P2Estimator {
+ public:
+  explicit P2Estimator(double quantile);
+
+  void add(double x);
+  std::size_t count() const { return count_; }
+  /// Current estimate (the middle marker height); meaningless below 5
+  /// samples (returns the median of what has been seen so far).
+  double estimate() const;
+
+ private:
+  double quantile_;
+  std::size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};    // marker heights q_i
+  double positions_[5] = {1, 2, 3, 4, 5};  // actual marker positions n_i
+  double desired_[5] = {1, 2, 3, 4, 5};    // desired positions n'_i
+  double increments_[5] = {0, 0, 0, 0, 0};  // dn'_i per observation
+};
+
+}  // namespace detail
+
+/// Bounded-memory p50/p90/p99/max tracker (the exec::Percentiles ladder).
+class QuantileSketch {
+ public:
+  /// Exact mode is kept up to this many samples by default: large enough
+  /// that every existing small-run output (tests, fixture replays) stays
+  /// bitwise identical to the raw-vector path, small enough to bound the
+  /// buffer. Thresholds below 5 are clamped to 5 (P² needs five seeds).
+  static constexpr std::size_t kDefaultExactThreshold = 256;
+  /// A threshold of kUnbounded never leaves exact mode — the --raw-samples
+  /// escape hatch for tests that need exact percentiles at any size.
+  static constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+  explicit QuantileSketch(std::size_t exact_threshold = kDefaultExactThreshold);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  bool exact() const { return exact_; }  ///< still below the threshold?
+  double max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Current p50/p90/p99/max (all zeros when empty). In exact mode this is
+  /// bitwise equal to exec::percentiles_of over the samples so far; in
+  /// sketch mode the three P² estimates are clamped monotone
+  /// (p50 <= p90 <= p99 <= max) — independent marker banks can cross by a
+  /// hair on adversarial inputs, and a non-monotone latency ladder would be
+  /// nonsense to report.
+  exec::Percentiles summary() const;
+
+ private:
+  void spill();  ///< seed the P² banks from the buffer, leave exact mode
+
+  std::size_t exact_threshold_;
+  std::size_t count_ = 0;
+  bool exact_ = true;
+  double max_ = 0;
+  std::vector<double> buffer_;  ///< exact-mode samples; freed on spill
+  detail::P2Estimator p50_, p90_, p99_;
+};
+
+}  // namespace moldable::engine

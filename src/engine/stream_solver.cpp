@@ -1,9 +1,11 @@
 #include "src/engine/stream_solver.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "src/engine/sketch.hpp"
 #include "src/jobs/io.hpp"
 #include "src/util/timer.hpp"
 
@@ -12,10 +14,15 @@ namespace moldable::engine {
 namespace {
 
 /// Per-class accumulation over the whole stream; finalized into ClassStats.
+/// Latency distributions live in bounded sketches (exact below the sample
+/// threshold, P² markers above) unless raw_samples lifted the bound.
 struct ClassBucket {
+  explicit ClassBucket(std::size_t threshold)
+      : queue(threshold), compute(threshold) {}
   std::size_t solved = 0, failed = 0;
-  std::vector<double> queue;
-  std::vector<double> compute;
+  std::size_t deadline_misses = 0;
+  QuantileSketch queue;
+  QuantileSketch compute;
 };
 
 }  // namespace
@@ -45,6 +52,15 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
   } else {
     registry_->at(config.algorithm);
   }
+  // Canonicalize deadline keys the way Instance does ("default" == the
+  // unlabelled class) so the lookup below can use sla_class() verbatim.
+  std::map<std::string, double> deadlines;
+  for (const auto& [name, seconds] : config.class_deadlines) {
+    if (!(seconds > 0) || !std::isfinite(seconds))
+      throw std::invalid_argument("stream: deadline for class '" + name +
+                                  "' must be finite and > 0");
+    deadlines[name == "default" ? std::string() : name] = seconds;
+  }
 
   BatchConfig batch_config;
   batch_config.algorithm = config.algorithm;
@@ -58,8 +74,11 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
 
   const BatchSolver batch_solver(*registry_);
   const PortfolioSolver portfolio_solver(*registry_);
-  exec::MemoStore<InstanceOutcome> batch_memo;
-  exec::MemoStore<PortfolioOutcome> portfolio_memo;
+  exec::MemoStore<InstanceOutcome> batch_memo(config.memo_capacity);
+  exec::MemoStore<PortfolioOutcome> portfolio_memo(config.memo_capacity);
+  const auto store_evictions = [&] {
+    return portfolio_mode ? portfolio_memo.evictions() : batch_memo.evictions();
+  };
 
   StreamResult result;
   result.rolling_digest = detail::kFnvOffsetBasis;  // == empty batch digest
@@ -69,7 +88,26 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
   const std::size_t capacity = config.window * config.max_inflight;
   pending.reserve(capacity);
 
+  const std::size_t sketch_threshold = config.raw_samples
+                                           ? QuantileSketch::kUnbounded
+                                           : QuantileSketch::kDefaultExactThreshold;
   std::map<std::string, ClassBucket> classes;
+  // The effective deadline an instance must be served by: arrival plus its
+  // class's relative deadline, +inf for classes without one. Window cutting
+  // sorts by (deadline, arrival), so with no deadlines configured the order
+  // is exactly the old arrival order.
+  const auto deadline_of = [&](const jobs::Instance& inst) {
+    const auto it = deadlines.find(inst.sla_class());
+    return it == deadlines.end() ? std::numeric_limits<double>::infinity()
+                                 : inst.arrival() + it->second;
+  };
+  const auto cap_history = [&](auto& entries) {
+    if (config.window_history == 0) return;
+    if (entries.size() > config.window_history)
+      entries.erase(entries.begin(),
+                    entries.begin() +
+                        static_cast<std::ptrdiff_t>(entries.size() - config.window_history));
+  };
   std::size_t global_index = 0;  // stream-wide outcome index for the digest
   bool exhausted = false;
   util::Timer stream_timer;
@@ -90,17 +128,22 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
         err.message = record.error;
         if (on_error) on_error(err);
         result.errors.push_back(std::move(err));
+        cap_history(result.errors);
         continue;
       }
       pending.push_back(std::move(record.instance));
     }
     if (pending.empty()) break;  // fully drained
 
-    // Arrival ordering within the horizon. Stable: equal arrivals (and the
-    // all-defaults case) keep stream order, so this is a pure function of
-    // the record stream — no clock is involved.
+    // Deadline-then-arrival ordering within the horizon: instances of a
+    // deadline class carry a finite effective deadline and jump ahead of
+    // the (+inf) rest; within equal deadlines, arrival order. Stable, so
+    // full ties keep stream order — a pure function of the record stream
+    // and the config, no clock involved.
     std::stable_sort(pending.begin(), pending.end(),
-                     [](const jobs::Instance& a, const jobs::Instance& b) {
+                     [&](const jobs::Instance& a, const jobs::Instance& b) {
+                       const double da = deadline_of(a), db = deadline_of(b);
+                       if (da != db) return da < db;
                        return a.arrival() < b.arrival();
                      });
 
@@ -112,10 +155,29 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     WindowStats stats;
     stats.index = result.windows;
     stats.instances = window.size();
+    const std::size_t evictions_before = store_evictions();
+
+    // One solved instance folded into the per-class accounting: sketch the
+    // latency split, and score the deadline when its class has one.
+    const auto account = [&](const jobs::Instance& inst, bool ok, double queue_s,
+                             double compute_s) {
+      auto it = classes.find(inst.sla_class());
+      if (it == classes.end())
+        it = classes.emplace(inst.sla_class(), ClassBucket(sketch_threshold)).first;
+      ClassBucket& bucket = it->second;
+      (ok ? bucket.solved : bucket.failed)++;
+      bucket.queue.add(queue_s);
+      bucket.compute.add(compute_s);
+      const auto dl = deadlines.find(inst.sla_class());
+      if (dl != deadlines.end() && queue_s + compute_s > dl->second) {
+        ++bucket.deadline_misses;
+        ++stats.deadline_misses;
+      }
+    };
 
     // Solve the window through the shared core; fold outcomes into the
     // rolling digest under their stream-global indices and into the
-    // per-class latency buckets.
+    // per-class accounting.
     if (portfolio_mode) {
       const PortfolioResult r = portfolio_solver.solve(
           window, portfolio_config, config.memo ? &portfolio_memo : nullptr);
@@ -128,10 +190,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
       for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
         const PortfolioOutcome& o = r.outcomes[i];
         o.mix_digest(result.rolling_digest, global_index++);
-        ClassBucket& bucket = classes[window[i].sla_class()];
-        (o.ok ? bucket.solved : bucket.failed)++;
-        bucket.queue.push_back(o.queue_seconds);
-        bucket.compute.push_back(o.compute_seconds);
+        account(window[i], o.ok, o.queue_seconds, o.compute_seconds);
       }
     } else {
       const BatchResult r =
@@ -145,12 +204,10 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
       for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
         const InstanceOutcome& o = r.outcomes[i];
         o.mix_digest(result.rolling_digest, global_index++);
-        ClassBucket& bucket = classes[window[i].sla_class()];
-        (o.ok ? bucket.solved : bucket.failed)++;
-        bucket.queue.push_back(o.queue_seconds);
-        bucket.compute.push_back(o.wall_seconds);
+        account(window[i], o.ok, o.queue_seconds, o.wall_seconds);
       }
     }
+    stats.memo_evictions = store_evictions() - evictions_before;
     stats.rolling_digest = result.rolling_digest;
 
     ++result.windows;
@@ -159,9 +216,12 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     result.failed += stats.failed;
     result.memo_hits += stats.memo_hits;
     result.memo_misses += stats.memo_misses;
+    result.deadline_misses += stats.deadline_misses;
     if (on_window) on_window(stats);
     result.window_stats.push_back(stats);
+    cap_history(result.window_stats);
   }
+  result.memo_evictions = store_evictions();
 
   for (auto& [name, bucket] : classes) {  // std::map: sorted by class name
     ClassStats s;
@@ -169,8 +229,11 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     s.solved = bucket.solved;
     s.failed = bucket.failed;
     s.count = bucket.solved + bucket.failed;
-    s.queue = exec::percentiles_of(bucket.queue);
-    s.compute = exec::percentiles_of(bucket.compute);
+    const auto dl = deadlines.find(name);
+    s.deadline_seconds = dl == deadlines.end() ? 0 : dl->second;
+    s.deadline_misses = bucket.deadline_misses;
+    s.queue = bucket.queue.summary();
+    s.compute = bucket.compute.summary();
     result.per_class.push_back(std::move(s));
   }
   result.wall_seconds = stream_timer.seconds();

@@ -12,11 +12,29 @@
 //     without arrival stamps keep stream order);
 //   * each window runs through the shared core in single-solver or
 //     portfolio mode, optionally memoized across windows (duplicate
-//     instances in a replay stream reuse the prior outcome);
+//     instances in a replay stream reuse the prior outcome; a nonzero
+//     memo_capacity bounds the store under deterministic LRU eviction);
 //   * per-window stats are emitted as the window completes, and per-SLA-
 //     class latency splits are aggregated over the whole stream;
 //   * on end of input the buffer drains — the final window may be short,
 //     and no instance is ever dropped.
+//
+// Bounded-serve contract: with a nonzero memo_capacity and window_history,
+// the solver's retained state is O(window × max_inflight + memo_capacity +
+// window_history + #classes) — independent of stream length. Per-class
+// latency percentiles come from engine::QuantileSketch (exact below its
+// sample threshold, P² markers above), totals and counters are plain
+// integers, and window/error retention is capped to the most recent
+// window_history entries (the callbacks still see every one).
+//
+// Deadline-aware windows: class_deadlines maps an SLA class to a relative
+// deadline in seconds. Instances of a deadline class jump the reorder
+// buffer — window cutting orders by (arrival + class deadline, arrival)
+// instead of arrival alone, still a pure function of stream + config — and
+// every served instance (failed ones included — a failure blows a deadline
+// too) whose measured queue+compute latency exceeds its class deadline
+// counts as a deadline miss (per class, per window, and
+// stream-total; measured, so never part of the digest).
 //
 // Determinism: the windowing is a pure function of the record stream and
 // the config (reading, ordering, and window cuts are all serial), and each
@@ -24,13 +42,16 @@
 // folds every outcome under its stream-global index with exactly the
 // per-outcome mixing of the one-shot engines, so for a fixed input and
 // window size it is identical across --threads 1/N *and* equal to the
-// one-shot batch digest over the concatenated windows. Malformed records
-// are isolated with a diagnostic and never perturb the digest.
+// one-shot batch digest over the concatenated windows (ordered as served).
+// Memo hit/miss/eviction counts are equally thread-count independent (serial
+// plan, serial LRU updates). Malformed records are isolated with a
+// diagnostic and never perturb the digest.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,6 +69,22 @@ struct StreamConfig {
   double eps = 0.1;                   ///< approximation parameter, in (0, 1]
   unsigned threads = 0;               ///< worker threads per window; 0 = hardware
   bool memo = false;                  ///< digest-keyed memoization across windows
+  /// Memo store bound (outcomes); 0 = unbounded. Only meaningful with
+  /// `memo`. Eviction is LRU over the serial plan/finalize order, so
+  /// hit/miss/eviction counts stay thread-count independent.
+  std::size_t memo_capacity = 0;
+  /// Retain only the most recent K entries of StreamResult::window_stats
+  /// and ::errors; 0 = keep all (the finite-replay default). Totals and
+  /// callbacks are unaffected.
+  std::size_t window_history = 0;
+  /// Keep exact per-class latency samples instead of bounded sketches —
+  /// O(instances) state again; the escape hatch for tests that need exact
+  /// percentiles beyond the sketch's exact-mode threshold.
+  bool raw_samples = false;
+  /// Relative deadline per SLA class, in seconds (> 0, finite). Key
+  /// "default" (or "") covers unlabelled instances. Classes without an
+  /// entry have no deadline: they never jump the buffer or count misses.
+  std::map<std::string, double> class_deadlines;
   TieBreak tie_break = TieBreak::kWallTime;  ///< portfolio winner ties
 };
 
@@ -59,6 +96,10 @@ struct WindowStats {
   std::size_t failed = 0;
   double wall_seconds = 0;  ///< this window's solve wall clock
   std::size_t memo_hits = 0, memo_misses = 0;
+  std::size_t memo_evictions = 0;   ///< LRU evictions while this window finalized
+  /// Instances of a deadline class whose queue+compute latency exceeded
+  /// their class deadline in this window (measured; not in any digest).
+  std::size_t deadline_misses = 0;
   std::uint64_t digest = 0;          ///< this window's own batch digest
   std::uint64_t rolling_digest = 0;  ///< stream digest after this window
 };
@@ -71,6 +112,11 @@ struct WindowStats {
 struct ClassStats {
   std::string sla_class;
   std::size_t count = 0, solved = 0, failed = 0;
+  /// Configured relative deadline for this class; 0 = none configured.
+  double deadline_seconds = 0;
+  /// Instances whose queue+compute latency exceeded the class deadline
+  /// (always 0 for classes without one). Measured, not deterministic.
+  std::size_t deadline_misses = 0;
   exec::Percentiles queue;
   exec::Percentiles compute;
 };
@@ -93,10 +139,18 @@ struct StreamResult {
   /// (empty stream == empty batch digest). Thread-count independent.
   std::uint64_t rolling_digest = 0;
   double wall_seconds = 0;  ///< whole run, input read time included
-  std::size_t memo_hits = 0, memo_misses = 0;
-  std::vector<WindowStats> window_stats;  ///< one per window, stream order
-  std::vector<ClassStats> per_class;      ///< sorted by class name
-  std::vector<StreamError> errors;        ///< malformed records, stream order
+  /// Deterministic memo tally (serial plan + serial LRU): identical across
+  /// thread counts for a fixed stream and config.
+  std::size_t memo_hits = 0, memo_misses = 0, memo_evictions = 0;
+  std::size_t deadline_misses = 0;  ///< stream total over all deadline classes
+  /// One per window in stream order — capped to the most recent
+  /// config.window_history entries when that is nonzero (the totals above
+  /// and the window callback always cover every window).
+  std::vector<WindowStats> window_stats;
+  std::vector<ClassStats> per_class;  ///< sorted by class name; bounded state
+  /// Malformed records in stream order, capped like window_stats (the error
+  /// callback always sees every record).
+  std::vector<StreamError> errors;
 };
 
 class StreamSolver {
@@ -111,8 +165,9 @@ class StreamSolver {
 
   /// Serves `input` to exhaustion. Throws std::invalid_argument up front —
   /// before consuming any input — for a zero window/max_inflight, an
-  /// unknown or duplicate solver name, or eps out of range; per-instance
-  /// failures and malformed records are recorded, never thrown.
+  /// unknown or duplicate solver name, eps out of range, or a non-finite
+  /// or non-positive class deadline; per-instance failures and malformed
+  /// records are recorded, never thrown.
   StreamResult run(std::istream& input, const StreamConfig& config,
                    const WindowCallback& on_window = {},
                    const ErrorCallback& on_error = {}) const;

@@ -1,31 +1,107 @@
 #!/bin/sh
-# Serve-mode determinism smoke (registered as the `stream_smoke` ctest case):
-# pipes the fixture stream through `batch_service --serve --verify` on 1 and
-# 4 worker threads and asserts both runs print the same rolling digest. Each
-# run also self-checks in-process (--verify re-serves the buffered stream on
-# 1 thread), so a mismatch fails twice over. --memo is on to keep the
-# duplicate-record reuse path inside the determinism contract.
+# Serve-mode determinism smokes (registered as the `stream_smoke` and
+# `stream_soak` ctest cases): pipe a stream through `batch_service --serve
+# --verify` on 1 and 4 worker threads and assert both runs print the same
+# rolling digest — and the same memo hit/miss/eviction counts. Each run also
+# self-checks in-process (--verify re-serves the buffered stream on 1
+# thread), so a mismatch fails twice over.
+#
+#   smoke  — replays the small checked-in fixture with an unbounded memo
+#            store (the original PR 3 smoke).
+#   soak   — generates a ~2000-instance stream (mostly distinct records,
+#            interleaved arrivals, an interactive deadline class) and serves
+#            it in the bounded endless-serve configuration:
+#            --memo-capacity 64 --window-history 8 --deadline. The distinct
+#            records overflow the capacity, so LRU eviction runs thousands
+#            of times and its determinism is what the digest/memo-count
+#            comparison certifies.
 set -eu
 
 bin=$1
 fixture=$2
+mode=${3:-smoke}
 
-run() {
-    "$bin" --serve --verify --memo --window 3 --max-inflight 2 \
-           --threads "$1" < "$fixture"
+generate_soak_stream() {
+    # ~2000 small records in plain io format. The parameter mix (machine
+    # count mod 97, job sizes mod 5/7, fractions mod 4/6) has a long period,
+    # so almost every record is content-distinct — far more keys than the
+    # capacity-64 memo store holds. Every 11th record repeats a fixed
+    # duplicate so the hit path stays exercised too.
+    awk 'BEGIN {
+        for (i = 0; i < 2000; ++i) {
+            printf "moldable-instance v1\n";
+            if (i % 11 == 0) {
+                # Byte-identical repeat: always a memo hit once cached (its
+                # touches keep it off the LRU tail between repeats).
+                printf "arrival 7\nclass interactive\n";
+                printf "machines 32\njob amdahl 6 0.4\njob powerlaw 4 0.5\n\n";
+                continue;
+            }
+            printf "arrival %d\n", i % 50;
+            if (i % 3 == 0) printf "class interactive\n";
+            printf "machines %d\n", 16 + i % 97;
+            printf "job amdahl %d 0.%d\n", 3 + i % 5, 2 + i % 6;
+            printf "job powerlaw %d 0.%d\n", 2 + i % 7, 3 + i % 4;
+            printf "\n";
+        }
+    }'
 }
 
-d1=$(run 1 | grep '^rolling digest:')
-d4=$(run 4 | grep '^rolling digest:')
+case $mode in
+smoke)
+    stream=$fixture
+    run() {
+        "$bin" --serve --verify --memo --window 3 --max-inflight 2 \
+               --threads "$1" < "$stream"
+    }
+    ;;
+soak)
+    stream=${TMPDIR:-/tmp}/stream_soak_$$.txt
+    trap 'rm -f "$stream"' EXIT
+    generate_soak_stream > "$stream"
+    run() {
+        "$bin" --serve --verify --memo --memo-capacity 64 --window-history 8 \
+               --deadline interactive=0.5 --window 16 --max-inflight 4 \
+               --threads "$1" < "$stream"
+    }
+    ;;
+*)
+    echo "stream_smoke.sh: unknown mode '$mode' (want smoke or soak)" >&2
+    exit 2
+    ;;
+esac
+
+out1=$(run 1)
+out4=$(run 4)
+d1=$(printf '%s\n' "$out1" | grep '^rolling digest:')
+d4=$(printf '%s\n' "$out4" | grep '^rolling digest:')
+m1=$(printf '%s\n' "$out1" | grep '^memo:')
+m4=$(printf '%s\n' "$out4" | grep '^memo:')
 
 if [ -z "$d1" ] || [ -z "$d4" ]; then
-    echo "stream_smoke: missing rolling digest line" >&2
+    echo "stream_smoke ($mode): missing rolling digest line" >&2
     exit 1
 fi
 if [ "$d1" != "$d4" ]; then
-    echo "stream_smoke: rolling digest differs across thread counts:" >&2
+    echo "stream_smoke ($mode): rolling digest differs across thread counts:" >&2
     echo "  threads=1: $d1" >&2
     echo "  threads=4: $d4" >&2
     exit 1
 fi
-echo "stream_smoke OK: $d1 (threads 1 == threads 4)"
+if [ -z "$m1" ] || [ "$m1" != "$m4" ]; then
+    echo "stream_smoke ($mode): memo counts differ (or are missing) across thread counts:" >&2
+    echo "  threads=1: $m1" >&2
+    echo "  threads=4: $m4" >&2
+    exit 1
+fi
+if [ "$mode" = soak ]; then
+    # The endless-serve config must actually have evicted (distinct records
+    # overflow capacity 64) — a soak that never evicts certifies nothing.
+    case $m1 in
+    *" 0 eviction(s)"* | "memo: 0 hit(s)"*)
+        echo "stream_smoke (soak): expected LRU evictions and memo hits, got: $m1" >&2
+        exit 1
+        ;;
+    esac
+fi
+echo "stream_smoke ($mode) OK: $d1, $m1 (threads 1 == threads 4)"

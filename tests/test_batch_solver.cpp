@@ -281,6 +281,111 @@ TEST(BatchSolver, MemoizedFailuresAreServedToo) {
   EXPECT_EQ(r.outcomes[1].error, r.outcomes[0].error);
 }
 
+TEST(MemoStoreLru, EvictsLeastRecentlyUsedAtCapacity) {
+  exec::MemoStore<int> store(2);
+  EXPECT_EQ(store.capacity(), 2u);
+  store.insert(1, 10);
+  store.insert(2, 20);
+  ASSERT_NE(store.find(1), nullptr);  // touch: key 1 is now most recent
+  store.insert(3, 30);                // evicts key 2, the LRU entry
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_TRUE(store.contains(3));
+  // Re-inserting an existing key refreshes recency without growing.
+  store.insert(1, 99);
+  EXPECT_EQ(*store.find(1), 10);  // first insertion still wins
+  store.insert(4, 40);            // now 3 is the LRU entry
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_EQ(store.evictions(), 2u);
+}
+
+TEST(MemoStoreLru, ZeroCapacityIsUnbounded) {
+  exec::MemoStore<int> store;
+  for (int k = 0; k < 1000; ++k) store.insert(static_cast<std::uint64_t>(k), k);
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(MemoStoreLru, CapacityOneThrashIsDeterministic) {
+  // The degenerate bound: every fresh insertion evicts the previous entry.
+  // Within one batch [A, B, A, B] the duplicates still hit (the serial plan
+  // chains them to their earlier in-batch slot), and across a replay the
+  // thrash pattern repeats exactly.
+  auto batch = small_batch(2);
+  batch.push_back(batch[0]);
+  batch.push_back(batch[1]);
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+
+  const std::uint64_t plain_digest = BatchSolver().solve(batch, config).digest();
+  exec::MemoStore<InstanceOutcome> store(1);
+  const BatchResult first = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(first.memo_hits, 2u);
+  EXPECT_EQ(first.memo_misses, 2u);
+  EXPECT_EQ(store.evictions(), 1u);  // B's insert evicted A
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(first.digest(), plain_digest);
+
+  // Replay: the store holds only B. A misses (recompute), B hits from the
+  // store, the duplicates hit in-batch or from the store — and A's fresh
+  // insert evicts B again.
+  const BatchResult replay = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(replay.memo_hits, 3u);
+  EXPECT_EQ(replay.memo_misses, 1u);
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_EQ(replay.digest(), plain_digest);
+}
+
+TEST(MemoStoreLru, PromisedHitsSurviveEvictionByFreshInserts) {
+  // Regression test for the two-pass finalize: the plan promises the last
+  // slot a store-served outcome, but the five fresh inserts before it would
+  // evict that entry from a capacity-1 store if reads and writes
+  // interleaved. All store reads must happen before the first insert.
+  auto fresh = small_batch(6);
+  std::vector<Instance> seed = {fresh[0]};
+  std::vector<Instance> batch(fresh.begin() + 1, fresh.end());
+  batch.push_back(fresh[0]);  // promised from the store, at the end
+
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+  exec::MemoStore<InstanceOutcome> store(1);
+  BatchSolver().solve(seed, config, &store);  // store = {A}
+
+  const BatchResult r = BatchSolver().solve(batch, config, &store);
+  EXPECT_EQ(r.memo_hits, 1u);
+  EXPECT_EQ(r.memo_misses, 5u);
+  EXPECT_EQ(r.solved, 6u);
+  EXPECT_EQ(r.digest(), BatchSolver().solve(batch, config).digest());
+}
+
+TEST(MemoStoreLru, EvictionCountsAreThreadCountIndependent) {
+  // A batch with duplicates over a small store, solved at 1 and 8 threads
+  // with fresh stores: the hit/miss/eviction tallies and the digest must
+  // match exactly — the LRU sequence lives in the serial plan/finalize
+  // phases, never inside the shard loop.
+  auto batch = small_batch(24);
+  for (std::size_t i = 0; i < 8; ++i) batch.push_back(batch[i * 2]);
+
+  BatchConfig serial;
+  serial.algorithm = "lt-2approx";
+  serial.threads = 1;
+  BatchConfig parallel = serial;
+  parallel.threads = 8;
+
+  exec::MemoStore<InstanceOutcome> store1(4);
+  exec::MemoStore<InstanceOutcome> store8(4);
+  const BatchResult a = BatchSolver().solve(batch, serial, &store1);
+  const BatchResult b = BatchSolver().solve(batch, parallel, &store8);
+  EXPECT_EQ(a.memo_hits, b.memo_hits);
+  EXPECT_EQ(a.memo_misses, b.memo_misses);
+  EXPECT_EQ(store1.evictions(), store8.evictions());
+  EXPECT_GT(store1.evictions(), 0u);  // 24 distinct keys through capacity 4
+  EXPECT_EQ(store1.size(), 4u);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
 TEST(BatchSolver, QueueAndComputeLatenciesAreSplit) {
   const auto batch = small_batch(30);
   BatchConfig config;

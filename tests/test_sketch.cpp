@@ -1,0 +1,183 @@
+// QuantileSketch tests: bitwise equality with exec::percentiles_of in exact
+// mode, P² estimation accuracy within tolerance on fixed seeds, monotone
+// summaries, the seamless spill at the threshold crossing, and the
+// kUnbounded (raw-samples) escape hatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/sketch.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::engine {
+namespace {
+
+/// Deterministic sample generator (the repo's own PRNG, so sequences are
+/// identical on every platform and compiler the CI matrix runs).
+std::vector<double> uniform_samples(std::size_t n, std::uint64_t seed, double lo,
+                                    double hi) {
+  util::Prng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(rng.uniform_real(lo, hi));
+  return samples;
+}
+
+/// Heavy-tailed samples: x^4 over [0,1) scaled — a shape where p99 and max
+/// separate sharply from p50, the regime the serve loop actually reports.
+std::vector<double> tailed_samples(std::size_t n, std::uint64_t seed) {
+  util::Prng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform_real(0.0, 1.0);
+    samples.push_back(u * u * u * u * 100.0);
+  }
+  return samples;
+}
+
+exec::Percentiles exact_of(std::vector<double> samples) {
+  return exec::percentiles_of(samples);
+}
+
+exec::Percentiles sketch_of(const std::vector<double>& samples,
+                            std::size_t threshold = QuantileSketch::kDefaultExactThreshold) {
+  QuantileSketch sketch(threshold);
+  for (double x : samples) sketch.add(x);
+  return sketch.summary();
+}
+
+TEST(QuantileSketch, EmptySummaryIsAllZeros) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  const exec::Percentiles p = sketch.summary();
+  EXPECT_EQ(p.p50, 0);
+  EXPECT_EQ(p.p90, 0);
+  EXPECT_EQ(p.p99, 0);
+  EXPECT_EQ(p.max, 0);
+}
+
+TEST(QuantileSketch, ExactModeIsBitwiseEqualToPercentilesOf) {
+  // Below the threshold the sketch must reproduce exec::percentiles_of
+  // bit for bit — this is what keeps every pre-sketch small-run output
+  // unchanged. Checked at several sizes including 1 and the threshold edge.
+  for (const std::size_t n : {1ul, 2ul, 7ul, 100ul, 256ul}) {
+    const auto samples = uniform_samples(n, 42 + n, 0.0, 50.0);
+    ASSERT_LE(n, QuantileSketch::kDefaultExactThreshold);
+    QuantileSketch sketch;
+    for (double x : samples) sketch.add(x);
+    EXPECT_TRUE(sketch.exact()) << n;
+    const exec::Percentiles got = sketch.summary();
+    const exec::Percentiles want = exact_of(samples);
+    EXPECT_EQ(got.p50, want.p50) << n;
+    EXPECT_EQ(got.p90, want.p90) << n;
+    EXPECT_EQ(got.p99, want.p99) << n;
+    EXPECT_EQ(got.max, want.max) << n;
+  }
+}
+
+TEST(QuantileSketch, SpillsToSketchModePastTheThreshold) {
+  const auto samples = uniform_samples(257, 7, 0.0, 1.0);
+  QuantileSketch sketch;
+  for (double x : samples) sketch.add(x);
+  EXPECT_FALSE(sketch.exact());
+  EXPECT_EQ(sketch.count(), 257u);
+  // The crossing itself must not lose samples: max is tracked exactly.
+  EXPECT_EQ(sketch.summary().max, exact_of(samples).max);
+}
+
+TEST(QuantileSketch, P2TracksUniformWithinTolerance) {
+  for (const std::uint64_t seed : {1ull, 99ull, 1234ull}) {
+    const auto samples = uniform_samples(10000, seed, 0.0, 100.0);
+    const exec::Percentiles want = exact_of(samples);
+    const exec::Percentiles got = sketch_of(samples);
+    // P² on 10k uniform samples lands well within a couple percent of the
+    // range; the bound here is loose enough to be portable, tight enough
+    // to catch a broken marker update.
+    EXPECT_NEAR(got.p50, want.p50, 2.0) << seed;
+    EXPECT_NEAR(got.p90, want.p90, 2.0) << seed;
+    EXPECT_NEAR(got.p99, want.p99, 2.0) << seed;
+    EXPECT_EQ(got.max, want.max) << seed;
+  }
+}
+
+TEST(QuantileSketch, P2TracksHeavyTailWithinTolerance) {
+  for (const std::uint64_t seed : {5ull, 77ull}) {
+    const auto samples = tailed_samples(20000, seed);
+    const exec::Percentiles want = exact_of(samples);
+    const exec::Percentiles got = sketch_of(samples);
+    // Relative bounds, since the tail stretches the absolute scale: the
+    // estimates must stay in the right decade, not drift to the body.
+    EXPECT_NEAR(got.p50, want.p50, 0.15 * want.p50 + 0.5) << seed;
+    EXPECT_NEAR(got.p90, want.p90, 0.15 * want.p90 + 0.5) << seed;
+    EXPECT_NEAR(got.p99, want.p99, 0.15 * want.p99 + 0.5) << seed;
+    EXPECT_EQ(got.max, want.max) << seed;
+  }
+}
+
+TEST(QuantileSketch, SummaryIsAlwaysMonotone) {
+  // p50 <= p90 <= p99 <= max at every prefix length, exact and sketched —
+  // independent marker banks are clamped so the reported ladder can never
+  // invert.
+  const auto samples = tailed_samples(3000, 11);
+  QuantileSketch sketch;
+  for (double x : samples) {
+    sketch.add(x);
+    const exec::Percentiles p = sketch.summary();
+    ASSERT_LE(p.p50, p.p90);
+    ASSERT_LE(p.p90, p.p99);
+    ASSERT_LE(p.p99, p.max);
+  }
+}
+
+TEST(QuantileSketch, ConstantStreamIsExactInSketchMode) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 5000; ++i) sketch.add(3.25);
+  EXPECT_FALSE(sketch.exact());
+  const exec::Percentiles p = sketch.summary();
+  EXPECT_EQ(p.p50, 3.25);
+  EXPECT_EQ(p.p90, 3.25);
+  EXPECT_EQ(p.p99, 3.25);
+  EXPECT_EQ(p.max, 3.25);
+}
+
+TEST(QuantileSketch, UnboundedThresholdStaysExactForever) {
+  // The --raw-samples escape hatch: kUnbounded never spills, so even a
+  // large stream reports nearest-rank percentiles bitwise.
+  const auto samples = uniform_samples(5000, 3, -10.0, 10.0);
+  QuantileSketch sketch(QuantileSketch::kUnbounded);
+  for (double x : samples) sketch.add(x);
+  EXPECT_TRUE(sketch.exact());
+  const exec::Percentiles got = sketch.summary();
+  const exec::Percentiles want = exact_of(samples);
+  EXPECT_EQ(got.p50, want.p50);
+  EXPECT_EQ(got.p90, want.p90);
+  EXPECT_EQ(got.p99, want.p99);
+  EXPECT_EQ(got.max, want.max);
+}
+
+TEST(QuantileSketch, TinyThresholdIsClampedToFive) {
+  // P² needs five seed markers; a smaller requested threshold must not
+  // break the spill. Sixth sample triggers it.
+  QuantileSketch sketch(1);
+  for (int i = 1; i <= 6; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_FALSE(sketch.exact());
+  const exec::Percentiles p = sketch.summary();
+  EXPECT_GE(p.p50, 1.0);
+  EXPECT_LE(p.p50, 6.0);
+  EXPECT_EQ(p.max, 6.0);
+}
+
+TEST(QuantileSketch, DeterministicForAFixedSequence) {
+  const auto samples = uniform_samples(4000, 17, 0.0, 1.0);
+  const exec::Percentiles a = sketch_of(samples);
+  const exec::Percentiles b = sketch_of(samples);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.max, b.max);
+}
+
+}  // namespace
+}  // namespace moldable::engine

@@ -1,11 +1,13 @@
 // Stream-engine tests: window cutting (window=1, window>input, drain),
 // malformed-record isolation mid-stream, the rolling digest's equality with
 // a one-shot batch digest over the concatenated windows, arrival-ordered
-// grouping inside the bounded reorder horizon, the memo hit path, and the
-// per-SLA-class latency aggregation.
+// grouping inside the bounded reorder horizon, the memo hit path (bounded
+// and unbounded), capped window-history retention, deadline-class buffer
+// jumping with miss counters, and the per-SLA-class latency aggregation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -227,6 +229,192 @@ TEST(StreamSolver, MemoDeduplicatesUnnamedRecords) {
   EXPECT_EQ(r.memo_hits, 2u);
 }
 
+TEST(StreamSolver, BoundedMemoEvictsDeterministicallyWithUnchangedDigest) {
+  // 12 distinct instances, the first four repeated at the end, through a
+  // capacity-4 store: evictions must happen, every algorithmic output must
+  // be untouched, and the whole memo tally must be thread-count independent.
+  auto batch = small_batch(12);
+  for (std::size_t i = 0; i < 4; ++i) batch.push_back(batch[i]);
+  const std::string text = to_stream(batch);
+
+  StreamConfig plain_config;
+  plain_config.window = 4;
+  StreamConfig bounded = plain_config;
+  bounded.memo = true;
+  bounded.memo_capacity = 4;
+
+  const StreamResult plain = run_stream(text, plain_config);
+  const StreamResult a = run_stream(text, bounded);
+  EXPECT_EQ(a.rolling_digest, plain.rolling_digest);
+  EXPECT_EQ(a.solved, plain.solved);
+  EXPECT_GT(a.memo_evictions, 0u);  // 12 distinct keys through capacity 4
+  EXPECT_EQ(a.memo_hits + a.memo_misses, batch.size());
+
+  StreamConfig parallel = bounded;
+  parallel.threads = 6;
+  const StreamResult b = run_stream(text, parallel);
+  EXPECT_EQ(b.rolling_digest, a.rolling_digest);
+  EXPECT_EQ(b.memo_hits, a.memo_hits);
+  EXPECT_EQ(b.memo_misses, a.memo_misses);
+  EXPECT_EQ(b.memo_evictions, a.memo_evictions);
+
+  // An unbounded run over the same stream hits on every repeat; the bounded
+  // store, having evicted them, re-solves — fewer hits, same digest.
+  StreamConfig unbounded = bounded;
+  unbounded.memo_capacity = 0;
+  const StreamResult u = run_stream(text, unbounded);
+  EXPECT_EQ(u.rolling_digest, plain.rolling_digest);
+  EXPECT_EQ(u.memo_evictions, 0u);
+  EXPECT_GE(u.memo_hits, a.memo_hits);
+}
+
+TEST(StreamSolver, WindowHistoryCapsRetainedStats) {
+  const auto batch = small_batch(10);
+  const std::string text = to_stream(batch);
+
+  StreamConfig config;
+  config.window = 1;
+  config.window_history = 3;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.windows, 10u);      // totals cover every window...
+  EXPECT_EQ(r.instances, 10u);
+  ASSERT_EQ(r.window_stats.size(), 3u);  // ...but only the last 3 are kept
+  EXPECT_EQ(r.window_stats.front().index, 7u);
+  EXPECT_EQ(r.window_stats.back().index, 9u);
+  EXPECT_EQ(r.window_stats.back().rolling_digest, r.rolling_digest);
+
+  // The window callback still fires for every window, in order.
+  std::vector<std::size_t> seen;
+  std::istringstream input(text);
+  StreamSolver().run(input, config,
+                     [&](const WindowStats& w) { seen.push_back(w.index); });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(StreamSolver, WindowHistoryCapsRetainedErrors) {
+  std::string text;
+  for (int i = 0; i < 5; ++i) {
+    text += "not a record " + std::to_string(i) + "\n";
+    text += to_stream(small_batch(1));
+  }
+  StreamConfig config;
+  config.window = 1;
+  config.window_history = 2;
+  std::size_t reported = 0;
+  std::istringstream input(text);
+  const StreamResult r =
+      StreamSolver().run(input, config, {},
+                         [&](const StreamError&) { ++reported; });
+  EXPECT_EQ(r.malformed, 5u);
+  EXPECT_EQ(reported, 5u);          // the callback saw every one...
+  EXPECT_EQ(r.errors.size(), 2u);   // ...the result keeps the most recent 2
+}
+
+TEST(StreamSolver, DeadlineClassJumpsTheReorderBuffer) {
+  // Four instances, stream order, equal arrivals; the last is labelled
+  // interactive. With a deadline on that class its effective deadline is
+  // finite while everyone else's is +inf, so it must be served first —
+  // the rolling digest equals a one-shot batch over the jumped order.
+  auto batch = small_batch(4);
+  batch[3].set_sla_class("interactive");
+  const std::string text = to_stream(batch);
+
+  std::vector<Instance> jumped = {batch[3], batch[0], batch[1], batch[2]};
+  const std::uint64_t jumped_digest = BatchSolver().solve(jumped, {}).digest();
+  const std::uint64_t stream_order_digest = BatchSolver().solve(batch, {}).digest();
+  ASSERT_NE(jumped_digest, stream_order_digest);
+
+  StreamConfig config;
+  config.window = 4;
+  config.class_deadlines["interactive"] = 10.0;
+  EXPECT_EQ(run_stream(text, config).rolling_digest, jumped_digest);
+
+  // Without the deadline the same stream keeps stream order: the jump is a
+  // pure function of the config, not of the class label.
+  StreamConfig no_deadline;
+  no_deadline.window = 4;
+  EXPECT_EQ(run_stream(text, no_deadline).rolling_digest, stream_order_digest);
+}
+
+TEST(StreamSolver, EarlierDeadlineWinsWithinADeadlineClass) {
+  // Two interactive instances with different arrivals: deadline = arrival +
+  // class deadline, so the earlier arrival keeps its head start; the
+  // deadline sort must not collapse a class into one undifferentiated bump.
+  auto batch = small_batch(3);
+  batch[1].set_sla_class("interactive");
+  batch[1].set_arrival(5);
+  batch[2].set_sla_class("interactive");
+  batch[2].set_arrival(1);
+  const std::string text = to_stream(batch);
+
+  std::vector<Instance> expected = {batch[2], batch[1], batch[0]};
+  StreamConfig config;
+  config.window = 3;
+  config.class_deadlines["interactive"] = 2.0;
+  EXPECT_EQ(run_stream(text, config).rolling_digest,
+            BatchSolver().solve(expected, {}).digest());
+}
+
+TEST(StreamSolver, DeadlineMissesAreCountedPerClassAndPerWindow) {
+  auto batch = small_batch(6);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (i % 2 == 0) batch[i].set_sla_class("interactive");
+  const std::string text = to_stream(batch);
+
+  StreamConfig config;
+  config.window = 3;
+  // An impossible deadline: every interactive instance misses (queue +
+  // compute latency is always positive), and the unlabelled class — no
+  // deadline — never counts a miss however long it takes.
+  config.class_deadlines["interactive"] = 1e-12;
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(r.deadline_misses, 3u);
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].sla_class, "default");
+  EXPECT_EQ(r.per_class[0].deadline_misses, 0u);
+  EXPECT_EQ(r.per_class[0].deadline_seconds, 0);
+  EXPECT_EQ(r.per_class[1].sla_class, "interactive");
+  EXPECT_EQ(r.per_class[1].deadline_misses, 3u);
+  EXPECT_EQ(r.per_class[1].deadline_seconds, 1e-12);
+  std::size_t window_total = 0;
+  for (const WindowStats& w : r.window_stats) window_total += w.deadline_misses;
+  EXPECT_EQ(window_total, 3u);
+
+  // A generous deadline (solving a small instance takes nowhere near an
+  // hour) records zero misses.
+  StreamConfig generous = config;
+  generous.class_deadlines["interactive"] = 3600.0;
+  EXPECT_EQ(run_stream(text, generous).deadline_misses, 0u);
+}
+
+TEST(StreamSolver, DefaultKeyNamesTheUnlabelledClass) {
+  // --deadline default=... must cover unlabelled instances (the io layer
+  // canonicalizes an explicit `class default` to unlabelled, and the stats
+  // report them under "default").
+  const auto batch = small_batch(2);
+  StreamConfig config;
+  config.window = 2;
+  config.class_deadlines["default"] = 1e-12;
+  const StreamResult r = run_stream(to_stream(batch), config);
+  EXPECT_EQ(r.deadline_misses, 2u);
+  ASSERT_EQ(r.per_class.size(), 1u);
+  EXPECT_EQ(r.per_class[0].deadline_seconds, 1e-12);
+}
+
+TEST(StreamSolver, RawSamplesMatchesSketchOnSmallStreams) {
+  // Below the sketch's exact threshold both paths are nearest-rank over the
+  // same samples of the same run... which are wall-clock measurements, so
+  // compare shapes, not values: both must be monotone and consistent.
+  const std::string text = to_stream(small_batch(8));
+  StreamConfig config;
+  config.window = 4;
+  config.raw_samples = true;
+  const StreamResult r = run_stream(text, config);
+  ASSERT_EQ(r.per_class.size(), 1u);
+  EXPECT_LE(r.per_class[0].compute.p50, r.per_class[0].compute.p99);
+  EXPECT_LE(r.per_class[0].compute.p99, r.per_class[0].compute.max);
+}
+
 TEST(StreamSolver, PortfolioModeRollsTheSameDigestAsOneShot) {
   const auto batch = small_batch(8);
   const std::string text = to_stream(batch);
@@ -325,6 +513,19 @@ TEST(StreamSolver, InvalidConfigThrowsBeforeConsumingInput) {
   StreamConfig dup_variants;
   dup_variants.variants = {"mrt", "mrt"};
   expect_throw_without_reading(dup_variants);
+
+  StreamConfig zero_deadline;
+  zero_deadline.class_deadlines["interactive"] = 0;
+  expect_throw_without_reading(zero_deadline);
+
+  StreamConfig negative_deadline;
+  negative_deadline.class_deadlines["interactive"] = -1;
+  expect_throw_without_reading(negative_deadline);
+
+  StreamConfig infinite_deadline;
+  infinite_deadline.class_deadlines["interactive"] =
+      std::numeric_limits<double>::infinity();
+  expect_throw_without_reading(infinite_deadline);
 }
 
 }  // namespace
