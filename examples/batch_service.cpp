@@ -17,6 +17,12 @@
 //     schedule (per-variant win counts and quality gaps in the stats;
 //     --tie-break order makes the win table reproducible under exact ties).
 //
+// --race (portfolio only) overlaps each instance's variants on a nested
+// worker pool (--race-width lanes) with cooperative early-cancel: a variant
+// completing at the instance's certified lower bound cancels its slower
+// peers, cutting the heavy tail without changing a single output byte —
+// the digest is bitwise identical to sequential portfolio mode.
+//
 // --memo turns on the execution core's digest-keyed memoization: duplicate
 // instances (within a batch, or across serve windows) reuse the prior
 // outcome, with hit/miss counts reported. Digests are unchanged by design.
@@ -93,6 +99,8 @@ struct Options {
   bool raw_samples = false;        // serve: exact per-class percentiles
   std::map<std::string, double> deadlines;  // serve: --deadline CLASS=SECONDS
   TieBreak tie_break = TieBreak::kWallTime;
+  bool race = false;           // portfolio: overlap variants per instance
+  unsigned race_width = 0;     // lanes per raced instance; 0 = one per variant
   bool algorithm_set = false;  // --algorithm given explicitly
   bool synthetic_set = false;  // any of --instances/--jobs/--machines/--seed given
   bool window_set = false;     // --window/--max-inflight given
@@ -116,6 +124,14 @@ void usage(const char* argv0) {
   for (const auto& n : AlgorithmRegistry::global().names()) std::cout << ' ' << n;
   std::cout << "\n  --portfolio A,B race the named variants per instance and\n"
             << "                  keep the best valid schedule\n"
+            << "  --race          portfolio: run the variants of each instance\n"
+            << "                  concurrently with cooperative early-cancel\n"
+            << "                  (a completion at the certified lower bound\n"
+            << "                  cancels the slower peers). Wall-clock only:\n"
+            << "                  digests are identical to sequential mode\n"
+            << "  --race-width W  concurrent variant lanes per raced instance\n"
+            << "                  (implies --race; 0 = one lane per variant,\n"
+            << "                  the default; total threads = threads x W)\n"
             << "  --tie-break M   portfolio winner under exact makespan ties:\n"
             << "                  wall (fastest, default) or order (first in\n"
             << "                  portfolio order — reproducible win counts)\n"
@@ -171,6 +187,11 @@ Options parse(int argc, char** argv) {
       }
     }
     else if (arg == "--serve") opt.serve = true;
+    else if (arg == "--race") opt.race = true;
+    else if (arg == "--race-width") {
+      opt.race_width = static_cast<unsigned>(std::stoul(value()));
+      opt.race = true;  // a width without racing would be inert
+    }
     else if (arg == "--window") { opt.window = std::stoull(value()); opt.window_set = true; }
     else if (arg == "--max-inflight") { opt.max_inflight = std::stoull(value()); opt.window_set = true; }
     else if (arg == "--memo") opt.memo = true;
@@ -340,18 +361,25 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
   config.eps = opt.eps;
   config.threads = opt.threads;
   config.tie_break = opt.tie_break;
+  config.race = opt.race;
+  config.race_width = opt.race_width;
 
   const PortfolioSolver solver;
   moldable::engine::exec::MemoStore<moldable::engine::PortfolioOutcome> memo(
       opt.memo_capacity);
   const PortfolioResult result = solver.solve(batch, config, opt.memo ? &memo : nullptr);
 
-  moldable::util::Table table({"variant", "wins", "solved", "failed", "gap-mean",
-                               "gap-max", "compute-p50-ms", "compute-p90-ms",
-                               "compute-p99-ms", "compute-total-s"});
+  // `cancelled` keeps race-mode reports honest: attempts killed by the
+  // early-cancel rule are neither losses nor failures and must not be
+  // silently folded into either.
+  moldable::util::Table table({"variant", "wins", "solved", "failed", "cancelled",
+                               "gap-mean", "gap-max", "compute-p50-ms",
+                               "compute-p90-ms", "compute-p99-ms",
+                               "compute-total-s"});
   for (const auto& s : result.per_variant) {
     table.add_row({s.algorithm, std::to_string(s.wins), std::to_string(s.solved),
-                   std::to_string(s.failed), moldable::util::fmt(s.gap_mean),
+                   std::to_string(s.failed), std::to_string(s.cancelled),
+                   moldable::util::fmt(s.gap_mean),
                    moldable::util::fmt(s.gap_max), moldable::util::fmt(s.wall_p50 * 1e3),
                    moldable::util::fmt(s.wall_p90 * 1e3),
                    moldable::util::fmt(s.wall_p99 * 1e3),
@@ -369,6 +397,9 @@ int run_portfolio(const Options& opt, const std::vector<moldable::jobs::Instance
             << " ms, p99 " << moldable::util::fmt(result.queue_p99 * 1e3)
             << " ms, max " << moldable::util::fmt(result.queue_max * 1e3)
             << " ms (shard pickup, shared by all variants of an instance)\n";
+  if (opt.race)
+    std::cout << "race: " << result.cancelled_attempts
+              << " cancelled attempt(s) (early-cancel; deterministic)\n";
   if (opt.memo)
     print_memo_line(result.memo_hits, result.memo_misses, memo.evictions(),
                     opt.memo_capacity);
@@ -402,6 +433,8 @@ StreamConfig make_stream_config(const Options& opt) {
   config.raw_samples = opt.raw_samples;
   config.class_deadlines = opt.deadlines;
   config.tie_break = opt.tie_break;
+  config.race = opt.race;
+  config.race_width = opt.race_width;
   return config;
 }
 
@@ -455,6 +488,9 @@ int run_serve(const Options& opt) {
             << moldable::util::fmt(result.wall_seconds, 3) << " s ("
             << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
             << " threads)\n";
+  if (opt.race)
+    std::cout << "race: " << result.cancelled_attempts
+              << " cancelled attempt(s) (early-cancel; deterministic)\n";
   if (opt.memo)
     print_memo_line(result.memo_hits, result.memo_misses, result.memo_evictions,
                     opt.memo_capacity);
@@ -500,6 +536,11 @@ int main(int argc, char** argv) {
                    "(add it to the portfolio list to race it)\n";
     if (opt.tie_break_set && opt.portfolio.empty())
       std::cerr << "warning: --tie-break only affects --portfolio mode\n";
+    if (opt.race && opt.portfolio.empty()) {
+      std::cerr << "--race needs a --portfolio to race (a single solver has "
+                   "no peers to cancel)\n";
+      return 2;
+    }
     if (opt.serve && !opt.input.empty()) {
       std::cerr << "--serve reads records from stdin; it cannot be combined with "
                    "--input (pipe the files in instead: cat DIR/* | ... --serve)\n";

@@ -1,10 +1,13 @@
 #include "src/engine/portfolio.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "src/core/estimator.hpp"
 #include "src/engine/exec_core.hpp"
 #include "src/sched/validator.hpp"
+#include "src/util/cancel.hpp"
 #include "src/util/common.hpp"
 
 namespace moldable::engine {
@@ -26,9 +29,13 @@ std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcome
       const VariantAttempt& a = o.attempts[v];
       VariantStats& s = out[v];
       // Wall stats cover every attempt: a variant that burns time before
-      // failing still costs the race, and hiding that would make expensive
-      // never-winning variants look free in the stats table.
+      // failing or being cancelled still costs the race, and hiding that
+      // would make expensive never-winning variants look free in the table.
       walls[v].push_back(a.wall_seconds);
+      if (a.outcome == AttemptOutcome::kCancelled) {
+        ++s.cancelled;
+        continue;
+      }
       if (!a.ok) {
         ++s.failed;
         continue;
@@ -62,7 +69,9 @@ std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcome
 /// Config part of the memo key (see the BatchSolver twin): variant list,
 /// eps, and the tie-break mode — the winner label is stored in the cached
 /// outcome, so outcomes produced under different tie-break rules must not
-/// alias.
+/// alias. `race`/`race_width` are deliberately NOT mixed in: racing is
+/// contractually outcome-invariant, so raced and sequential entries are
+/// interchangeable.
 std::uint64_t config_memo_key(const PortfolioConfig& config) {
   std::uint64_t h = detail::kFnvOffsetBasis;
   const char tag[] = "portfolio";
@@ -78,6 +87,33 @@ std::uint64_t config_memo_key(const PortfolioConfig& config) {
   return h;
 }
 
+/// The instance's decision threshold for the early-cancel rule: the
+/// Ludwig-Tiwari estimator's certified lower bound omega (<= OPT). A
+/// completed makespan at or below it is provably unbeatable. Deterministic
+/// (pure function of the instance); -inf when the estimator is unavailable
+/// (it then never decides), 0 for empty instances (every variant returns
+/// the empty schedule, so the first completer decides).
+double decide_bound(const jobs::Instance& instance) {
+  if (instance.size() == 0) return 0.0;
+  try {
+    return core::estimate_makespan(instance).omega;
+  } catch (const std::exception&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+}
+
+/// Collapses an attempt to the canonical excluded stub: name + kCancelled,
+/// every certificate field zero. wall_seconds is preserved (measured-only,
+/// excluded from the digest — the partial burn is real racing cost).
+void stub_cancelled(VariantAttempt& a, const std::string& algorithm) {
+  const double wall = a.wall_seconds;
+  a = VariantAttempt{};
+  a.algorithm = algorithm;
+  a.outcome = AttemptOutcome::kCancelled;
+  a.error = "cancelled: an earlier variant completed at the certified lower bound";
+  a.wall_seconds = wall;
+}
+
 }  // namespace
 
 std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
@@ -89,7 +125,10 @@ std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
     if (name.empty())
       throw std::invalid_argument("portfolio: empty variant name in spec '" + spec + "'");
     if (std::find(names.begin(), names.end(), name) != names.end())
-      throw std::invalid_argument("portfolio: duplicate variant '" + name + "'");
+      throw std::invalid_argument(
+          "portfolio: duplicate variant '" + name +
+          "' (each variant may appear once — duplicates would skew the win "
+          "table and waste a race lane)");
     names.push_back(std::move(name));
     pos = comma + 1;
   }
@@ -106,6 +145,8 @@ void PortfolioOutcome::mix_digest(std::uint64_t& h, std::size_t digest_index) co
   fnv1a_mix_double(h, guarantee);
   for (const VariantAttempt& a : attempts) {
     fnv1a_mix(h, a.algorithm.data(), a.algorithm.size());
+    const unsigned char outcome_byte = static_cast<unsigned char>(a.outcome);
+    fnv1a_mix(h, &outcome_byte, sizeof(outcome_byte));
     const unsigned char aok = a.ok ? 1 : 0;
     fnv1a_mix(h, &aok, sizeof(aok));
     fnv1a_mix_double(h, a.makespan);
@@ -146,8 +187,7 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
     solvers.push_back(&fn);
   }
 
-  SolverConfig solver_config;
-  solver_config.eps = config.eps;
+  const std::size_t n_variants = config.variants.size();
 
   PortfolioResult result;
   result.outcomes.resize(batch.size());
@@ -160,38 +200,117 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
     result.memo_misses = plan.misses;
   }
 
+  // One variant's attempt, run to completion / failure / cancellation.
+  // Pure except for the wall stamp; `token` is only ever the lane's own
+  // race token (null in the sequential path and in the repair path).
+  const auto run_attempt = [&](std::size_t i, std::size_t v, VariantAttempt& a,
+                               const util::CancelToken* token) {
+    a.algorithm = config.variants[v];
+    util::Timer attempt_timer;
+    try {
+      SolverConfig solver_config;
+      solver_config.eps = config.eps;
+      solver_config.cancel = token;
+      const core::ScheduleResult r = (*solvers[v])(batch[i], solver_config);
+      const sched::ValidationResult check = sched::validate(r.schedule, batch[i]);
+      if (!check.ok)
+        throw std::runtime_error("invalid schedule: " + check.errors.front());
+      a.outcome = AttemptOutcome::kCompleted;
+      a.ok = true;
+      a.error.clear();
+      a.makespan = r.makespan;
+      a.lower_bound = r.lower_bound;
+      a.ratio = r.ratio_vs_lower;
+      a.guarantee = r.guarantee;
+      a.dual_calls = r.dual_calls;
+    } catch (const util::cancelled_error& e) {
+      a.outcome = AttemptOutcome::kCancelled;
+      a.ok = false;
+      a.error = e.what();
+    } catch (const std::exception& e) {
+      a.outcome = AttemptOutcome::kFailed;
+      a.ok = false;
+      a.error = e.what();
+    }
+    a.wall_seconds = attempt_timer.seconds();
+  };
+
   const exec::ShardTiming timing = exec::run_sharded(
       batch.size(), config.threads, memo ? &plan : nullptr, [&](std::size_t i) {
         PortfolioOutcome& out = result.outcomes[i];
-        out.attempts.resize(config.variants.size());
+        out.attempts.resize(n_variants);
+        // A single-variant portfolio has no peers to cancel and must stay
+        // bitwise equal to BatchSolver, so it skips the decision machinery
+        // (and the estimator call funding it) entirely.
+        const double omega = n_variants > 1
+                                 ? decide_bound(batch[i])
+                                 : -std::numeric_limits<double>::infinity();
 
-        // Run every variant; keep the algorithmic best (min makespan), the
-        // tightest certificate (max lower bound), and — among makespan-tied
-        // variants — the tie-break mode's pick as the labelled winner.
-        std::size_t winner = config.variants.size();  // sentinel: none yet
-        for (std::size_t v = 0; v < config.variants.size(); ++v) {
-          VariantAttempt& a = out.attempts[v];
-          a.algorithm = config.variants[v];
-          util::Timer attempt_timer;
-          try {
-            const core::ScheduleResult r = (*solvers[v])(batch[i], solver_config);
-            const sched::ValidationResult check = sched::validate(r.schedule, batch[i]);
-            if (!check.ok)
-              throw std::runtime_error("invalid schedule: " + check.errors.front());
-            a.ok = true;
-            a.makespan = r.makespan;
-            a.lower_bound = r.lower_bound;
-            a.ratio = r.ratio_vs_lower;
-            a.guarantee = r.guarantee;
-            a.dual_calls = r.dual_calls;
-          } catch (const std::exception& e) {
-            a.ok = false;
-            a.error = e.what();
+        if (config.race && n_variants > 1) {
+          // Concurrent lanes on the arena, nested inside this shard worker.
+          // A decisive completion (makespan <= omega) cancels later lanes;
+          // lanes whose token fired before they started are stubbed without
+          // running at all.
+          exec::RaceArena arena(n_variants, config.race_width);
+          arena.run([&](std::size_t v) {
+            VariantAttempt& a = out.attempts[v];
+            const util::CancelToken& token = arena.token(v);
+            if (token.cancelled()) {
+              a.outcome = AttemptOutcome::kCancelled;
+              a.algorithm = config.variants[v];
+              return;
+            }
+            run_attempt(i, v, a, &token);
+            if (a.outcome == AttemptOutcome::kCompleted)
+              arena.post(v, a.makespan, a.lower_bound, a.makespan <= omega);
+          });
+        } else {
+          // Sequential lanes in portfolio order; once the instance is
+          // decided the remaining variants are skipped outright (the
+          // canonicalization below stubs them).
+          bool decided = false;
+          for (std::size_t v = 0; v < n_variants && !decided; ++v) {
+            VariantAttempt& a = out.attempts[v];
+            run_attempt(i, v, a, nullptr);
+            decided = a.ok && a.makespan <= omega;
           }
-          a.wall_seconds = attempt_timer.seconds();
+        }
+
+        // Canonicalization: re-derive the deterministic attempt set from
+        // completed results. Walk in portfolio order; once a completed
+        // attempt decides (makespan <= omega) every later attempt becomes
+        // the canonical kCancelled stub — whether its physical cancellation
+        // landed, it never started, or it even completed after the
+        // decision. A kept lane can only be physically cancelled if a
+        // custom solver threw cancelled_error spuriously (the arena only
+        // cancels lanes the rule excludes); repair it with a serial re-run
+        // so the canonical set never depends on timing.
+        bool decided = false;
+        for (std::size_t v = 0; v < n_variants; ++v) {
+          VariantAttempt& a = out.attempts[v];
+          if (decided) {
+            stub_cancelled(a, config.variants[v]);
+            continue;
+          }
+          if (a.outcome == AttemptOutcome::kCancelled) {
+            run_attempt(i, v, a, nullptr);
+            if (a.outcome == AttemptOutcome::kCancelled) {
+              // A solver that throws cancelled_error with no token: treat
+              // as a plain failure so canonicalization terminates.
+              a.outcome = AttemptOutcome::kFailed;
+              a.ok = false;
+            }
+          }
+          decided = a.ok && a.makespan <= omega;
+        }
+
+        // Combine the canonical attempts: best makespan, max certified
+        // bound, tie-break-mode winner label.
+        std::size_t winner = n_variants;  // sentinel: none yet
+        for (std::size_t v = 0; v < n_variants; ++v) {
+          const VariantAttempt& a = out.attempts[v];
           out.compute_seconds += a.wall_seconds;
           if (!a.ok) continue;
-
           if (!out.ok) {
             out.ok = true;
             out.makespan = a.makespan;
@@ -216,6 +335,13 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
         }
         if (out.ok) {
           out.winner = config.variants[winner];
+          // A decided instance carries a proof the code would otherwise
+          // discard: the decision fired because makespan <= omega <= OPT,
+          // and omega is itself a certified bound — fold it in so the
+          // combined certificate does not regress when cancelled variants'
+          // (possibly tighter) bounds are stubbed away. Deterministic:
+          // `decided` and omega are pure functions of the instance.
+          if (decided) out.lower_bound = std::max(out.lower_bound, omega);
           // Same convention as core::ScheduleResult: a degenerate zero lower
           // bound (e.g. a zero-job instance) reports ratio 1, keeping the
           // single-variant portfolio bitwise equal to BatchSolver.
@@ -253,6 +379,8 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
   for (const PortfolioOutcome& o : result.outcomes)
     (o.ok ? result.solved : result.failed)++;
   result.per_variant = aggregate(result.outcomes, config.variants);
+  for (const VariantStats& s : result.per_variant)
+    result.cancelled_attempts += s.cancelled;
 
   std::vector<double> queues;
   queues.reserve(result.outcomes.size());

@@ -1,27 +1,63 @@
 // PortfolioSolver: race several registry variants per instance, keep the best.
 //
-// For every instance of a batch, each configured variant is run in sequence
-// inside the instance's worker shard (the batch is still sharded across
-// threads; the race is per instance, not per variant, so the shard layout
-// matches BatchSolver and the determinism argument is unchanged). The
+// For every instance of a batch the configured variants are raced and the
 // portfolio keeps the best *valid* schedule per instance — validity is
 // re-checked with sched::validate, not just assumed from solver success —
-// and combines the variants' certificates:
+// combining the variants' certificates:
 //
-//   * makespan     = min over successful variants (the kept schedule's),
-//   * lower_bound  = max over successful variants (each bound is
-//                    independently certified, so the max certifies too),
+//   * makespan     = min over completed variants (the kept schedule's),
+//   * lower_bound  = max over completed variants (each bound is
+//                    independently certified, so the max certifies too);
+//                    on a *decided* instance (see below) the estimator's
+//                    omega is folded in as well — the decision proof is a
+//                    certificate, and stubbed variants must not weaken the
+//                    combined bound,
 //   * ratio        = makespan / lower_bound (tighter than any single
 //                    variant's self-reported ratio),
 //   * guarantee    = min proven factor among the variants that achieved the
 //                    best makespan.
 //
-// All four are pure functions of (batch, variants, eps) and enter the
-// digest. The *winner name* is tie-broken by makespan, then (under the
-// default TieBreak::kWallTime) wall time, then portfolio order: wall time is
-// measured, so under an exact makespan tie the winner label (and the
-// per-variant win counts derived from it) may differ between runs.
-// TieBreak::kPortfolioOrder drops the wall-time step — ties go to the
+// Early-cancel rule (both execution modes): each instance first gets the
+// Ludwig-Tiwari estimator's certified lower bound omega (<= OPT). The
+// variants are considered in portfolio order; the first completed variant
+// whose valid makespan is <= omega *decides* the instance — no peer can
+// produce a strictly better schedule, because every certified lower bound
+// sandwiches OPT under that makespan — and every LATER variant is excluded
+// with a kCancelled attempt (a deterministic stub: name + outcome only).
+// The excluded set is therefore a pure function of (batch, variants, eps):
+// earlier variants are never excluded by later ones, completed results are
+// pure, and the decision threshold omega is deterministic.
+//
+// Execution modes:
+//   * sequential (race = false): variants run one after another inside the
+//     instance's worker shard; once the instance is decided the remaining
+//     variants are skipped outright (tail latency already improves here);
+//   * racing (race = true): the variants run concurrently on an
+//     exec::RaceArena nested inside the worker shard (up to race_width
+//     lanes at once, so total concurrency is threads x race_width). A
+//     decisive completer fires the later lanes' CancelTokens; the built-in
+//     solvers observe them at iteration / DP-row / branch-and-bound-tick
+//     granularity and unwind with util::cancelled_error.
+//
+// Determinism contract: physical cancellation in race mode is a *subset* of
+// the deterministic exclusion rule above (a lane is only ever cancelled by
+// an earlier decisive lane, and a decisive completion excludes all later
+// lanes canonically). The serial canonicalization pass re-derives the
+// canonical attempt set from completed results — stubbing excluded attempts
+// whether or not their cancellation physically landed — so every
+// digest-covered field is identical between sequential and race mode, at
+// any threads / race_width combination. `--race` changes wall-clock, never
+// bytes. (In the unexpected case of a lane that was physically cancelled
+// but is canonically kept — possible only for a custom solver throwing
+// cancelled_error spuriously — the canonicalization re-runs it serially;
+// solvers are pure, so the repair is deterministic too.)
+//
+// All combined certificate fields are pure functions of (batch, variants,
+// eps) and enter the digest. The *winner name* is tie-broken by makespan,
+// then (under the default TieBreak::kWallTime) wall time, then portfolio
+// order: wall time is measured, so under an exact makespan tie the winner
+// label (and the per-variant win counts derived from it) may differ between
+// runs. TieBreak::kPortfolioOrder drops the wall-time step — ties go to the
 // earliest variant in portfolio order, making the full win-count table a
 // pure function of (batch, variants, eps), reproducible for CI comparison.
 // Winner identity and all wall/queue fields are excluded from the digest
@@ -40,9 +76,10 @@ namespace moldable::engine {
 
 /// Parses a comma-separated variant list ("fptas,mrt,lt-2approx") into
 /// names, trimming surrounding whitespace. Throws std::invalid_argument for
-/// an empty spec, an empty element, or a duplicate name. Names are NOT
-/// checked against a registry here — PortfolioSolver::solve does that up
-/// front so the error carries the known-name list.
+/// an empty spec, an empty element, or a duplicate name (duplicates would
+/// skew the win table and waste a race lane). Names are NOT checked against
+/// a registry here — PortfolioSolver::solve does that up front so the error
+/// carries the known-name list.
 std::vector<std::string> parse_portfolio_spec(const std::string& spec);
 
 /// How an exact makespan tie picks the labelled winner (the combined
@@ -57,21 +94,43 @@ struct PortfolioConfig {
   double eps = 0.1;                   ///< approximation parameter, in (0, 1]
   unsigned threads = 0;               ///< worker threads; 0 = hardware concurrency
   TieBreak tie_break = TieBreak::kWallTime;  ///< winner selection under ties
+  /// Overlap the variants of one instance on an exec::RaceArena instead of
+  /// running them sequentially in the shard. Changes wall-clock only: the
+  /// canonical attempt set, every certificate field, and the digest are
+  /// bitwise identical to the sequential mode (see the file comment).
+  bool race = false;
+  /// Concurrent variant lanes per raced instance; 0 = one lane per variant.
+  /// Total worker concurrency in race mode is threads x race_width.
+  unsigned race_width = 0;
+};
+
+/// How one variant's attempt on one instance ended.
+enum class AttemptOutcome : unsigned char {
+  kCompleted = 0,  ///< ran to completion and produced a valid schedule
+  kFailed = 1,     ///< threw, or produced a schedule sched::validate rejects
+  kCancelled = 2,  ///< excluded by the early-cancel rule (deterministic stub)
 };
 
 /// One variant's run on one instance. Every field except wall_seconds is
 /// deterministic; the digest covers the deterministic fields minus `error`
-/// (exception text is not part of the stability contract).
+/// (exception text is not part of the stability contract). A kCancelled
+/// attempt is a canonical stub — name + outcome, all certificate fields
+/// zero — regardless of whether the variant never started, was cancelled
+/// mid-run, or even completed after the instance was already decided.
 struct VariantAttempt {
   std::string algorithm;
-  bool ok = false;
-  std::string error;  ///< solver exception or validator message when !ok
+  AttemptOutcome outcome = AttemptOutcome::kFailed;
+  bool ok = false;    ///< outcome == kCompleted (kept for ergonomic checks)
+  std::string error;  ///< solver exception or validator message when failed
   double makespan = 0;
   double lower_bound = 0;
   double ratio = 0;
   double guarantee = 0;
   int dual_calls = 0;
-  double wall_seconds = 0;  ///< this variant's compute time (not deterministic)
+  /// This variant's measured compute time (not deterministic). For a
+  /// cancelled attempt: the partial burn before the cancel landed in race
+  /// mode, 0 when the lane was skipped before starting.
+  double wall_seconds = 0;
 };
 
 /// Combined outcome for one instance, index-aligned with the batch.
@@ -79,7 +138,7 @@ struct PortfolioOutcome {
   std::size_t index = 0;
   bool ok = false;      ///< at least one variant produced a valid schedule
   std::string winner;   ///< best variant (makespan, then wall, then order)
-  double makespan = 0;      ///< best makespan across successful variants
+  double makespan = 0;      ///< best makespan across completed variants
   double lower_bound = 0;   ///< best (max) certified lower bound
   double ratio = 0;         ///< makespan / lower_bound
   double guarantee = 0;     ///< min proven factor among makespan-best variants
@@ -97,16 +156,19 @@ struct PortfolioOutcome {
 struct VariantStats {
   std::string algorithm;
   std::size_t wins = 0;    ///< instances where this variant was the winner
-  std::size_t solved = 0;  ///< successful (valid-schedule) attempts
-  std::size_t failed = 0;
-  /// Quality gap of a successful attempt: makespan / best_makespan - 1,
+  std::size_t solved = 0;  ///< completed (valid-schedule) attempts
+  std::size_t failed = 0;  ///< failed attempts (cancelled NOT included)
+  /// Attempts excluded by the early-cancel rule. Deterministic (the rule
+  /// is), and identical between sequential and race mode.
+  std::size_t cancelled = 0;
+  /// Quality gap of a completed attempt: makespan / best_makespan - 1,
   /// i.e. how far behind the per-instance winner this variant was (0 when it
-  /// matched the best). Mean/max over its successful attempts.
+  /// matched the best). Mean/max over its completed attempts.
   double gap_mean = 0;
   double gap_max = 0;
-  /// Wall stats cover ALL attempts, failed ones included — a variant that
-  /// burns compute before throwing still costs the race. Same p50/p90/p99/
-  /// max ladder as AlgorithmStats (the single-solver aggregate).
+  /// Wall stats cover ALL attempts — failed ones burn compute before
+  /// throwing, and cancelled ones report their partial burn (0 when skipped
+  /// before starting). Same p50/p90/p99/max ladder as AlgorithmStats.
   double wall_total = 0;
   double wall_p50 = 0, wall_p90 = 0, wall_p99 = 0, wall_max = 0;
 };
@@ -116,6 +178,9 @@ struct PortfolioResult {
   std::vector<VariantStats> per_variant;    ///< portfolio order
   std::size_t solved = 0;  ///< instances with at least one valid schedule
   std::size_t failed = 0;  ///< instances where every variant failed
+  /// Total attempts excluded by the early-cancel rule (sum of the
+  /// per-variant `cancelled` counts). Deterministic.
+  std::size_t cancelled_attempts = 0;
   double wall_seconds = 0;  ///< whole-batch wall clock
   /// Memoization tally, deterministic; both zero without a memo store (see
   /// BatchResult for the exact semantics — they are identical here).
@@ -128,10 +193,11 @@ struct PortfolioResult {
 
   /// FNV-1a over the deterministic fields, batch order: per outcome
   /// (index, ok, makespan, lower_bound, ratio, guarantee) and per attempt
-  /// (algorithm, ok, makespan, lower_bound, ratio, guarantee, dual_calls).
-  /// Winner names, win counts, and all wall/queue fields are excluded —
-  /// they may legitimately differ between runs (see file comment). Equal
-  /// across thread counts for the same batch + config.
+  /// (algorithm, outcome, ok, makespan, lower_bound, ratio, guarantee,
+  /// dual_calls). Winner names, win counts, and all wall/queue fields are
+  /// excluded — they may legitimately differ between runs (see file
+  /// comment). Equal across thread counts, and between sequential and race
+  /// mode, for the same batch + config.
   std::uint64_t digest() const;
 };
 
@@ -150,6 +216,9 @@ class PortfolioSolver {
   /// BatchSolver::solve: duplicate instances reuse the stored outcome
   /// (winner label included), the digest is unchanged, served outcomes
   /// report zero compute, and the store must not be shared concurrently.
+  /// Race mode does not enter the memo key — raced and sequential runs
+  /// produce identical outcomes by contract, so their cache entries are
+  /// interchangeable.
   PortfolioResult solve(const std::vector<jobs::Instance>& batch,
                         const PortfolioConfig& config,
                         exec::MemoStore<PortfolioOutcome>* memo = nullptr) const;

@@ -12,12 +12,16 @@ namespace {
 
 SolverFn enum_solver(core::Algorithm algo) {
   return [algo](const jobs::Instance& instance, const SolverConfig& config) {
+    // The scope makes config.cancel visible to every long loop below this
+    // frame via util::poll_cancellation() — no core signature changes.
+    util::CancelScope scope(config.cancel);
     return core::schedule_moldable(instance, config.eps, algo);
   };
 }
 
 core::ScheduleResult solve_exact_wrapped(const jobs::Instance& instance,
-                                         const SolverConfig&) {
+                                         const SolverConfig& config) {
+  util::CancelScope scope(config.cancel);
   const auto exact = core::solve_exact(instance);  // throws over the hard caps
   if (!exact)
     throw std::runtime_error("exact: node budget exceeded for instance '" +
@@ -41,6 +45,7 @@ AlgorithmRegistry AlgorithmRegistry::with_builtins() {
         core::Algorithm::kBoundedLinear, core::Algorithm::kLudwigTiwari})
     r.add(core::algorithm_name(a), enum_solver(a));
   r.add("ptas", [](const jobs::Instance& instance, const SolverConfig& config) {
+    util::CancelScope scope(config.cancel);
     return core::ptas_schedule(instance, config.eps);
   });
   r.add("exact", solve_exact_wrapped);

@@ -51,6 +51,10 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     }
   } else {
     registry_->at(config.algorithm);
+    if (config.race)
+      throw std::invalid_argument(
+          "stream: race mode requires a portfolio (a single solver has no "
+          "peers to race)");
   }
   // Canonicalize deadline keys the way Instance does ("default" == the
   // unlabelled class) so the lookup below can use sla_class() verbatim.
@@ -71,6 +75,8 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
   portfolio_config.eps = config.eps;
   portfolio_config.threads = config.threads;
   portfolio_config.tie_break = config.tie_break;
+  portfolio_config.race = config.race;
+  portfolio_config.race_width = config.race_width;
 
   const BatchSolver batch_solver(*registry_);
   const PortfolioSolver portfolio_solver(*registry_);
@@ -186,6 +192,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
       stats.wall_seconds = r.wall_seconds;
       stats.memo_hits = r.memo_hits;
       stats.memo_misses = r.memo_misses;
+      stats.cancelled_attempts = r.cancelled_attempts;
       stats.digest = r.digest();
       for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
         const PortfolioOutcome& o = r.outcomes[i];
@@ -216,6 +223,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     result.failed += stats.failed;
     result.memo_hits += stats.memo_hits;
     result.memo_misses += stats.memo_misses;
+    result.cancelled_attempts += stats.cancelled_attempts;
     result.deadline_misses += stats.deadline_misses;
     if (on_window) on_window(stats);
     result.window_stats.push_back(stats);

@@ -86,6 +86,11 @@ struct StreamConfig {
   /// entry have no deadline: they never jump the buffer or count misses.
   std::map<std::string, double> class_deadlines;
   TieBreak tie_break = TieBreak::kWallTime;  ///< portfolio winner ties
+  /// Portfolio mode only: race each instance's variants concurrently on an
+  /// exec::RaceArena inside the window's shard workers (see
+  /// PortfolioConfig::race — wall-clock only, digests unchanged).
+  bool race = false;
+  unsigned race_width = 0;  ///< lanes per raced instance; 0 = one per variant
 };
 
 /// Stats for one completed micro-batch.
@@ -97,6 +102,9 @@ struct WindowStats {
   double wall_seconds = 0;  ///< this window's solve wall clock
   std::size_t memo_hits = 0, memo_misses = 0;
   std::size_t memo_evictions = 0;   ///< LRU evictions while this window finalized
+  /// Portfolio attempts excluded by the early-cancel rule in this window
+  /// (deterministic — identical across thread counts and race widths).
+  std::size_t cancelled_attempts = 0;
   /// Instances of a deadline class whose queue+compute latency exceeded
   /// their class deadline in this window (measured; not in any digest).
   std::size_t deadline_misses = 0;
@@ -142,6 +150,9 @@ struct StreamResult {
   /// Deterministic memo tally (serial plan + serial LRU): identical across
   /// thread counts for a fixed stream and config.
   std::size_t memo_hits = 0, memo_misses = 0, memo_evictions = 0;
+  /// Stream-total portfolio attempts excluded by the early-cancel rule
+  /// (deterministic, see WindowStats::cancelled_attempts).
+  std::size_t cancelled_attempts = 0;
   std::size_t deadline_misses = 0;  ///< stream total over all deadline classes
   /// One per window in stream order — capped to the most recent
   /// config.window_history entries when that is nonzero (the totals above

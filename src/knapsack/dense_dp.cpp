@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/cancel.hpp"
+
 namespace moldable::knapsack {
 
 namespace {
@@ -25,6 +27,7 @@ std::vector<double> dense_profit_row(const std::vector<Item>& items, procs_t cap
   validate_input(items, capacity);
   std::vector<double> best(static_cast<std::size_t>(capacity) + 1, 0.0);
   for (const Item& it : items) {
+    util::poll_cancellation();  // racing: stop between O(capacity) DP rows
     const procs_t sz = isize(it);
     if (sz > capacity) continue;
     if (sz == 0) {
@@ -54,6 +57,7 @@ Solution solve_dense(const std::vector<Item>& items, procs_t capacity) {
   std::vector<double> best(static_cast<std::size_t>(capacity) + 1, 0.0);
 
   for (std::size_t i = 0; i < n; ++i) {
+    util::poll_cancellation();  // racing: stop between O(capacity) DP rows
     const Item& it = items[i];
     const procs_t sz = isize(it);
     if (sz > capacity) continue;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/cancel.hpp"
+
 namespace moldable::knapsack {
 
 namespace {
@@ -43,7 +45,10 @@ std::vector<ParetoPoint> merge_step(const std::vector<ParetoPoint>& base, const 
 
 std::vector<ParetoPoint> exact_pareto(const std::vector<Item>& items, double capacity) {
   std::vector<ParetoPoint> list{{0.0, 0.0}};
-  for (const Item& it : items) list = merge_step(list, it, capacity);
+  for (const Item& it : items) {
+    util::poll_cancellation();  // racing: stop between Pareto merge rows
+    list = merge_step(list, it, capacity);
+  }
   return list;
 }
 

@@ -1,0 +1,26 @@
+#include "src/util/cancel.hpp"
+
+namespace moldable::util {
+
+namespace {
+
+// Each thread sees only its own slot, so installing/reading the active
+// token is race-free by construction; cross-thread communication happens
+// exclusively through the token's atomic flag.
+thread_local const CancelToken* tl_active_token = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken* token) : prev_(tl_active_token) {
+  tl_active_token = token;
+}
+
+CancelScope::~CancelScope() { tl_active_token = prev_; }
+
+const CancelToken* active_cancel_token() noexcept { return tl_active_token; }
+
+void poll_cancellation() {
+  if (tl_active_token && tl_active_token->cancelled()) throw cancelled_error();
+}
+
+}  // namespace moldable::util

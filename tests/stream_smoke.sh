@@ -15,6 +15,16 @@
 #            records overflow the capacity, so LRU eviction runs thousands
 #            of times and its determinism is what the digest/memo-count
 #            comparison certifies.
+#   race_soak — serves the soak stream (extended with single-job records
+#            where `exact` completes at the certified lower bound and
+#            early-cancels its peers) through the racing portfolio:
+#            --race --portfolio exact,fptas,mrt --memo-capacity 64
+#            --verify. Asserts that the rolling digest, the memo counts,
+#            AND the cancelled-attempt count are identical at 1 vs 4
+#            threads — and that the digest also matches a sequential
+#            (non---race) serve, the cross-mode half of the racing
+#            determinism contract. Runs under the TSan CI leg so the
+#            cancellation protocol executes under the race detector.
 set -eu
 
 bin=$1
@@ -27,9 +37,18 @@ generate_soak_stream() {
     # so almost every record is content-distinct — far more keys than the
     # capacity-64 memo store holds. Every 11th record repeats a fixed
     # duplicate so the hit path stays exercised too.
-    awk 'BEGIN {
+    # $1 = 1: interleave single-job records on few machines — the instances
+    # where `exact` completes at the estimator's certified lower bound and
+    # the racing early-cancel rule provably fires on the later lanes.
+    awk -v with_deciders="${1:-0}" 'BEGIN {
         for (i = 0; i < 2000; ++i) {
             printf "moldable-instance v1\n";
+            if (with_deciders && i % 13 == 5) {
+                printf "arrival %d\n", i % 50;
+                printf "machines %d\njob amdahl %d 0.%d\n\n",
+                       5 + i % 4, 2 + i % 6, 2 + i % 7;
+                continue;
+            }
             if (i % 11 == 0) {
                 # Byte-identical repeat: always a memo hit once cached (its
                 # touches keep it off the LRU tail between repeats).
@@ -65,18 +84,38 @@ soak)
                --threads "$1" < "$stream"
     }
     ;;
+race_soak)
+    stream=${TMPDIR:-/tmp}/stream_race_soak_$$.txt
+    trap 'rm -f "$stream"' EXIT
+    generate_soak_stream 1 > "$stream"
+    # exact first so its certified-optimal completions on the single-job
+    # records early-cancel the fptas/mrt lanes; on everything else exact
+    # fails fast over its caps and the race degenerates gracefully.
+    run() {
+        "$bin" --serve --verify --memo --memo-capacity 64 --window-history 8 \
+               --race --portfolio exact,fptas,mrt --window 16 --max-inflight 4 \
+               --threads "$1" < "$stream"
+    }
+    run_sequential() {
+        "$bin" --serve --memo --memo-capacity 64 --window-history 8 \
+               --portfolio exact,fptas,mrt --window 16 --max-inflight 4 \
+               --threads 4 < "$stream"
+    }
+    ;;
 *)
-    echo "stream_smoke.sh: unknown mode '$mode' (want smoke or soak)" >&2
+    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, or race_soak)" >&2
     exit 2
     ;;
 esac
 
 out1=$(run 1)
 out4=$(run 4)
-d1=$(printf '%s\n' "$out1" | grep '^rolling digest:')
-d4=$(printf '%s\n' "$out4" | grep '^rolling digest:')
-m1=$(printf '%s\n' "$out1" | grep '^memo:')
-m4=$(printf '%s\n' "$out4" | grep '^memo:')
+# `|| true`: under set -e a no-match grep would kill the script before the
+# missing-line diagnostics below could run.
+d1=$(printf '%s\n' "$out1" | grep '^rolling digest:' || true)
+d4=$(printf '%s\n' "$out4" | grep '^rolling digest:' || true)
+m1=$(printf '%s\n' "$out1" | grep '^memo:' || true)
+m4=$(printf '%s\n' "$out4" | grep '^memo:' || true)
 
 if [ -z "$d1" ] || [ -z "$d4" ]; then
     echo "stream_smoke ($mode): missing rolling digest line" >&2
@@ -103,5 +142,35 @@ if [ "$mode" = soak ]; then
         exit 1
         ;;
     esac
+fi
+if [ "$mode" = race_soak ]; then
+    # `|| true`: under set -e a no-match grep would kill the script before
+    # the diagnostics below could name what went missing.
+    c1=$(printf '%s\n' "$out1" | grep '^race:' || true)
+    c4=$(printf '%s\n' "$out4" | grep '^race:' || true)
+    if [ -z "$c1" ] || [ "$c1" != "$c4" ]; then
+        echo "stream_smoke (race_soak): cancelled-attempt counts differ (or are missing) across thread counts:" >&2
+        echo "  threads=1: $c1" >&2
+        echo "  threads=4: $c4" >&2
+        exit 1
+    fi
+    case $c1 in
+    "race: 0 "*)
+        # A race in which early-cancel never fires certifies nothing about
+        # the cancellation protocol.
+        echo "stream_smoke (race_soak): expected cancelled attempts, got: $c1" >&2
+        exit 1
+        ;;
+    esac
+    # Cross-mode half of the determinism contract: the raced digest must be
+    # bitwise identical to a sequential (non---race) serve of the stream.
+    dseq=$(run_sequential | grep '^rolling digest:' || true)
+    if [ -z "$dseq" ] || [ "$dseq" != "$d1" ]; then
+        echo "stream_smoke (race_soak): raced digest differs from sequential portfolio mode:" >&2
+        echo "  race:       $d1" >&2
+        echo "  sequential: $dseq" >&2
+        exit 1
+    fi
+    echo "stream_smoke (race_soak) OK: $c1 (threads 1 == threads 4; race == sequential)"
 fi
 echo "stream_smoke ($mode) OK: $d1, $m1 (threads 1 == threads 4)"

@@ -39,6 +39,18 @@ TEST(PortfolioSpec, RejectsEmptyAndDuplicates) {
   EXPECT_THROW(parse_portfolio_spec("fptas,,mrt"), std::invalid_argument);
   EXPECT_THROW(parse_portfolio_spec("fptas,"), std::invalid_argument);
   EXPECT_THROW(parse_portfolio_spec("mrt,mrt"), std::invalid_argument);
+  // Duplicates must be caught after trimming (the canonical name is what
+  // would race twice), and the diagnostic must name the offender clearly.
+  EXPECT_THROW(parse_portfolio_spec("fptas, fptas"), std::invalid_argument);
+  EXPECT_THROW(parse_portfolio_spec("fptas,mrt,exact,mrt"), std::invalid_argument);
+  try {
+    parse_portfolio_spec("fptas,fptas");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("'fptas'"), std::string::npos) << what;
+  }
 }
 
 TEST(PortfolioSolver, InvalidConfigThrowsUpFront) {
@@ -184,11 +196,19 @@ TEST(PortfolioSolver, AllVariantsFailIsIsolatedToTheOffendingInstance) {
   }
   EXPECT_TRUE(r.outcomes[2].ok);
   EXPECT_EQ(r.outcomes[0].winner, "exact");
-  // fptas failed on every instance, but its racing cost is still reported.
+  // fptas never solves anything here. On the tiny outer instances `exact`
+  // completes at the certified lower bound (omega == OPT for these), so the
+  // early-cancel rule excludes fptas there — only the middle instance, where
+  // exact itself fails, records an fptas *failure*.
   ASSERT_EQ(r.per_variant.size(), 2u);
   EXPECT_EQ(r.per_variant[1].algorithm, "fptas");
   EXPECT_EQ(r.per_variant[1].solved, 0u);
-  EXPECT_EQ(r.per_variant[1].failed, 3u);
+  EXPECT_EQ(r.per_variant[1].failed, 1u);
+  EXPECT_EQ(r.per_variant[1].cancelled, 2u);
+  EXPECT_EQ(r.outcomes[0].attempts[1].outcome, AttemptOutcome::kCancelled);
+  EXPECT_EQ(r.outcomes[1].attempts[1].outcome, AttemptOutcome::kFailed);
+  EXPECT_EQ(r.outcomes[2].attempts[1].outcome, AttemptOutcome::kCancelled);
+  EXPECT_EQ(r.cancelled_attempts, 2u);
   EXPECT_GT(r.per_variant[1].wall_total, 0);
 }
 
