@@ -1,0 +1,160 @@
+// Traffic-generation benchmark: arrivals/second of the thinning sampler
+// per curve family, and full storm emission (arrivals + class mix + Pareto
+// sizing + io serialization) — the producer-side cost of the serve-mode
+// pipeline. Emits BENCH_traffic.json next to the binary so the numbers
+// seed the perf trajectory across PRs (baseline checked in under
+// bench/baselines/).
+//
+// Thinning efficiency is the interesting knob: candidates are proposed at
+// the analytic envelope λ*, so a peaky curve (flash crowd: λ* = 20x the
+// baseline) rejects most candidates off-peak while a flat one accepts
+// nearly all — the per-curve arrivals/sec spread below is that acceptance
+// ratio made visible. Determinism is cross-checked on every run: two
+// generations of every storm must agree byte for byte, or the bench aborts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/traffic/arrival_process.hpp"
+#include "src/traffic/rate_curve.hpp"
+#include "src/traffic/traffic_gen.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace moldable;
+using traffic::ArrivalProcess;
+using traffic::TrafficConfig;
+using traffic::TrafficGenerator;
+using traffic::TrafficSummary;
+
+struct CurveCase {
+  const char* name;
+  const char* spec;
+  double horizon;
+};
+
+// Comparable expected arrival counts (~25k each) so the per-curve numbers
+// isolate acceptance ratio, not storm size.
+const std::vector<CurveCase> kCurves = {
+    {"const", "const:rate=25", 1000},
+    {"steps", "steps:0=10,300=60,600=25", 800},
+    {"diurnal", "diurnal:base=15,amp=25,period=40", 800},
+    {"flash", "flash:base=20,peak=400,t0=20,ramp=5,hold=15,decay=20", 120},
+};
+
+struct CurveReport {
+  std::string name;
+  std::size_t arrivals = 0;
+  double arrivals_per_sec = 0;  ///< sampler-only throughput
+  double emit_per_sec = 0;      ///< full storm emission throughput
+};
+
+CurveReport measure(const CurveCase& c) {
+  CurveReport report;
+  report.name = c.name;
+  const auto curve = traffic::parse_curve_spec(c.spec);
+
+  util::Timer sample_timer;
+  const std::vector<double> times = ArrivalProcess::generate(*curve, c.horizon, 7);
+  const double sample_s = sample_timer.seconds();
+  report.arrivals = times.size();
+  report.arrivals_per_sec =
+      sample_s > 0 ? static_cast<double>(times.size()) / sample_s : 0;
+
+  TrafficConfig config;
+  config.curve = c.spec;
+  config.seed = 7;
+  config.horizon = c.horizon;
+  config.duplicate_every = 11;
+  std::ostringstream storm;
+  util::Timer emit_timer;
+  const TrafficSummary summary = TrafficGenerator(config).write(storm);
+  const double emit_s = emit_timer.seconds();
+  report.emit_per_sec =
+      emit_s > 0 ? static_cast<double>(summary.arrivals) / emit_s : 0;
+
+  // Determinism cross-check: the same config must produce the same bytes.
+  std::ostringstream again;
+  const TrafficSummary re = TrafficGenerator(config).write(again);
+  if (re.stream_digest != summary.stream_digest || again.str() != storm.str()) {
+    std::fprintf(stderr,
+                 "bench_traffic: DETERMINISM VIOLATION: %s regenerated "
+                 "differently from the same config\n",
+                 c.name);
+    std::exit(1);
+  }
+  return report;
+}
+
+void BM_ArrivalSampling(benchmark::State& state) {
+  const CurveCase& c = kCurves[static_cast<std::size_t>(state.range(0))];
+  const auto curve = traffic::parse_curve_spec(c.spec);
+  std::uint64_t seed = 1;
+  std::size_t arrivals = 0;
+  for (auto _ : state) {
+    const auto times = ArrivalProcess::generate(*curve, c.horizon, seed++);
+    arrivals += times.size();
+    benchmark::DoNotOptimize(times.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.SetLabel(c.name);
+}
+BENCHMARK(BM_ArrivalSampling)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_StormEmission(benchmark::State& state) {
+  const CurveCase& c = kCurves[static_cast<std::size_t>(state.range(0))];
+  TrafficConfig config;
+  config.curve = c.spec;
+  config.horizon = c.horizon;
+  config.duplicate_every = 11;
+  std::size_t arrivals = 0;
+  for (auto _ : state) {
+    config.seed++;
+    std::ostringstream storm;
+    arrivals += TrafficGenerator(config).write(storm).arrivals;
+    benchmark::DoNotOptimize(storm.str().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.SetLabel(c.name);
+}
+BENCHMARK(BM_StormEmission)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Per-curve throughput + determinism cross-check, emitted as
+  // BENCH_traffic.json before the google-benchmark loops run.
+  std::vector<CurveReport> reports;
+  for (const CurveCase& c : kCurves) reports.push_back(measure(c));
+
+  std::FILE* json = std::fopen("BENCH_traffic.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n  \"bench\": \"traffic\",\n  \"seed\": 7,\n  \"curves\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const CurveReport& r = reports[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"arrivals\": %zu, "
+                   "\"sample_arrivals_per_sec\": %.0f, "
+                   "\"emit_arrivals_per_sec\": %.0f}%s\n",
+                   r.name.c_str(), r.arrivals, r.arrivals_per_sec, r.emit_per_sec,
+                   i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+  }
+  for (const CurveReport& r : reports)
+    std::printf("%-8s %8zu arrivals   sample %12.0f /s   emit %12.0f /s\n",
+                r.name.c_str(), r.arrivals, r.arrivals_per_sec, r.emit_per_sec);
+  std::printf("determinism: OK (regeneration is byte-identical); wrote "
+              "BENCH_traffic.json\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,11 +47,20 @@
 // same contract for a fixed input stream and window size. `--verify`
 // re-solves on 1 thread in-process (buffering stdin first in serve mode)
 // and fails loudly when the digests diverge.
+//
+// --record FILE (serve mode) captures the session as a replayable record:
+// the exact served stream plus the serve config, per-instance latencies,
+// the rolling digest, and every deterministic counter. --replay FILE
+// re-serves a recorded session (at any --threads — the determinism
+// contract says the count must not matter) and fails loudly if the digest
+// or any counter diverges from the recording.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -62,6 +71,7 @@
 #include "src/engine/stream_solver.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
+#include "src/traffic/replay.hpp"
 #include "src/util/table.hpp"
 
 namespace {
@@ -91,6 +101,8 @@ struct Options {
   bool csv = false;
   bool verify = false;
   bool serve = false;           // stream records from stdin
+  std::string record;           // serve: write a replayable session record
+  std::string replay;           // re-serve a recorded session and check it
   std::size_t window = 16;      // serve: micro-batch size
   std::size_t max_inflight = 4; // serve: reorder horizon in windows
   bool memo = false;            // digest-keyed memoization
@@ -118,6 +130,13 @@ void usage(const char* argv0) {
             << "  --serve         serve a stream of instance records from stdin\n"
             << "                  (concatenated io-format records) in arrival-\n"
             << "                  ordered micro-batches; drains at EOF\n"
+            << "  --record FILE   serve: capture the session (stream + config +\n"
+            << "                  latencies + digests + counters) as a replayable\n"
+            << "                  record file\n"
+            << "  --replay FILE   re-serve a recorded session and assert the\n"
+            << "                  rolling digest and every deterministic counter\n"
+            << "                  match the recording (honours --threads; all\n"
+            << "                  other serve flags come from the record)\n"
             << "  --window N      serve: instances per micro-batch (default 16)\n"
             << "  --max-inflight K  serve: reorder horizon in windows (default 4)\n"
             << "  --algorithm A   registry solver name (default auto); known:";
@@ -187,6 +206,20 @@ Options parse(int argc, char** argv) {
       }
     }
     else if (arg == "--serve") opt.serve = true;
+    else if (arg == "--record") {
+      opt.record = value();
+      if (opt.record.empty()) {
+        std::cerr << "empty --record path\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--replay") {
+      opt.replay = value();
+      if (opt.replay.empty()) {
+        std::cerr << "empty --replay path\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--race") opt.race = true;
     else if (arg == "--race-width") {
       opt.race_width = static_cast<unsigned>(std::stoul(value()));
@@ -253,8 +286,8 @@ std::vector<moldable::jobs::Instance> make_synthetic_batch(const Options& opt) {
   batch.reserve(opt.instances);
   for (std::size_t i = 0; i < opt.instances; ++i) {
     const auto family = families[i % families.size()];
-    batch.push_back(moldable::jobs::make_instance(family, opt.jobs, opt.machines,
-                                                  opt.seed + 1000003 * i));
+    batch.push_back(moldable::jobs::make_instance(
+        family, opt.jobs, opt.machines, moldable::jobs::derive_seed(opt.seed, i)));
   }
   return batch;
 }
@@ -458,6 +491,20 @@ int run_serve(const Options& opt) {
               << "): " << e.message << "\n";
   };
 
+  // --record captures the session as served: the configured (instrumented)
+  // run is the one recorded; the --verify reference run below deliberately
+  // serves un-instrumented so the record holds exactly one session.
+  std::ofstream record_file;
+  std::unique_ptr<moldable::traffic::StreamRecorder> recorder;
+  StreamConfig serve_config = config;
+  if (!opt.record.empty()) {
+    record_file.open(opt.record, std::ios::trunc);
+    if (!record_file)
+      throw std::runtime_error("cannot open --record file " + opt.record);
+    recorder = std::make_unique<moldable::traffic::StreamRecorder>(record_file, config);
+    serve_config = recorder->instrument(config);
+  }
+
   StreamResult result;
   if (opt.verify) {
     // stdin cannot rewind, so --verify buffers the whole stream and serves
@@ -466,7 +513,7 @@ int run_serve(const Options& opt) {
     buffer << std::cin.rdbuf();
     const std::string text = buffer.str();
     std::istringstream first(text);
-    result = solver.run(first, config, on_window, on_error);
+    result = solver.run(first, serve_config, on_window, on_error);
     StreamConfig reference = config;
     reference.threads = 1;
     std::istringstream second(text);
@@ -479,9 +526,15 @@ int run_serve(const Options& opt) {
     }
     std::cout << "determinism: OK (rolling digest matches single-threaded reference)\n";
   } else {
-    result = solver.run(std::cin, config, on_window, on_error);
+    result = solver.run(std::cin, serve_config, on_window, on_error);
+  }
+  if (recorder) {
+    recorder->finalize(result);
+    record_file.close();
+    std::cout << "record: session captured to " << opt.record << "\n";
   }
 
+  for (const auto& line : result.preamble) std::cout << "source: " << line << "\n";
   std::cout << "stream: " << result.windows << " window(s), " << result.instances
             << " instance(s) (" << result.solved << " solved, " << result.failed
             << " failed, " << result.malformed << " malformed) in "
@@ -526,6 +579,33 @@ int run_serve(const Options& opt) {
   return result.failed == 0 ? 0 : 1;
 }
 
+int run_replay(const Options& opt) {
+  const moldable::traffic::ReplayFile file =
+      moldable::traffic::load_record_file(opt.replay);
+  std::cout << "replaying " << opt.replay << ": " << file.counters.instances
+            << " instance(s), recorded digest " << fmt_digest(file.rolling_digest)
+            << " (" << (opt.threads == 0 ? std::string("hw") : std::to_string(opt.threads))
+            << " threads)\n";
+  for (const auto& line : file.source_preamble) std::cout << "source: " << line << "\n";
+
+  const moldable::traffic::ReplayReport report =
+      moldable::traffic::replay(file, opt.threads);
+  if (!report.ok) {
+    std::cerr << "REPLAY DIVERGENCE: " << report.mismatches.size()
+              << " mismatch(es) against the recording:\n";
+    for (const auto& m : report.mismatches) std::cerr << "  " << m << "\n";
+    return 1;
+  }
+  const moldable::engine::StreamResult& r = report.result;
+  std::cout << "replay: OK — rolling digest " << fmt_digest(r.rolling_digest)
+            << " and all counters match the recording\n"
+            << "replay: " << r.instances << " instance(s) (" << r.solved << " solved, "
+            << r.failed << " failed), memo " << r.memo_hits << "/" << r.memo_misses
+            << " (-" << r.memo_evictions << "), " << r.cancelled_attempts
+            << " cancelled, " << r.deadline_misses << " deadline miss(es)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -539,6 +619,23 @@ int main(int argc, char** argv) {
     if (opt.race && opt.portfolio.empty()) {
       std::cerr << "--race needs a --portfolio to race (a single solver has "
                    "no peers to cancel)\n";
+      return 2;
+    }
+    if (!opt.replay.empty()) {
+      if (opt.serve || !opt.input.empty() || !opt.record.empty()) {
+        std::cerr << "--replay re-serves a recorded session; it cannot be "
+                     "combined with --serve, --input, or --record\n";
+        return 2;
+      }
+      if (opt.window_set || opt.serve_only_set || opt.memo || opt.race ||
+          opt.tie_break_set || !opt.portfolio.empty() || opt.algorithm_set ||
+          opt.synthetic_set)
+        std::cerr << "warning: --replay takes every serve flag from the record "
+                     "file; only --threads applies\n";
+      return run_replay(opt);
+    }
+    if (!opt.record.empty() && !opt.serve) {
+      std::cerr << "--record captures a serve session; it requires --serve\n";
       return 2;
     }
     if (opt.serve && !opt.input.empty()) {

@@ -138,6 +138,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
         continue;
       }
       pending.push_back(std::move(record.instance));
+      if (config.on_admit) config.on_admit(pending.back());
     }
     if (pending.empty()) break;  // fully drained
 
@@ -164,9 +165,17 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     const std::size_t evictions_before = store_evictions();
 
     // One solved instance folded into the per-class accounting: sketch the
-    // latency split, and score the deadline when its class has one.
-    const auto account = [&](const jobs::Instance& inst, bool ok, double queue_s,
-                             double compute_s) {
+    // latency split, and score the deadline when its class has one. Under a
+    // replay override the recorded latencies stand in for the measurement,
+    // making the deadline tally (and the sketches) reproduce the recorded
+    // session exactly.
+    const auto account = [&](std::size_t index, const jobs::Instance& inst, bool ok,
+                             double queue_s, double compute_s) {
+      if (config.replay_latencies && index < config.replay_latencies->size()) {
+        queue_s = (*config.replay_latencies)[index].first;
+        compute_s = (*config.replay_latencies)[index].second;
+      }
+      if (config.on_served) config.on_served(index, ok, queue_s, compute_s);
       auto it = classes.find(inst.sla_class());
       if (it == classes.end())
         it = classes.emplace(inst.sla_class(), ClassBucket(sketch_threshold)).first;
@@ -196,8 +205,9 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
       stats.digest = r.digest();
       for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
         const PortfolioOutcome& o = r.outcomes[i];
-        o.mix_digest(result.rolling_digest, global_index++);
-        account(window[i], o.ok, o.queue_seconds, o.compute_seconds);
+        const std::size_t index = global_index++;
+        o.mix_digest(result.rolling_digest, index);
+        account(index, window[i], o.ok, o.queue_seconds, o.compute_seconds);
       }
     } else {
       const BatchResult r =
@@ -210,8 +220,9 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
       stats.digest = r.digest();
       for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
         const InstanceOutcome& o = r.outcomes[i];
-        o.mix_digest(result.rolling_digest, global_index++);
-        account(window[i], o.ok, o.queue_seconds, o.wall_seconds);
+        const std::size_t index = global_index++;
+        o.mix_digest(result.rolling_digest, index);
+        account(index, window[i], o.ok, o.queue_seconds, o.wall_seconds);
       }
     }
     stats.memo_evictions = store_evictions() - evictions_before;
@@ -230,6 +241,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     cap_history(result.window_stats);
   }
   result.memo_evictions = store_evictions();
+  result.preamble = reader.preamble();
 
   for (auto& [name, bucket] : classes) {  // std::map: sorted by class name
     ClassStats s;

@@ -53,6 +53,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/engine/batch_solver.hpp"
@@ -91,6 +92,24 @@ struct StreamConfig {
   /// PortfolioConfig::race — wall-clock only, digests unchanged).
   bool race = false;
   unsigned race_width = 0;  ///< lanes per raced instance; 0 = one per variant
+  /// Record/replay hooks (traffic/replay.hpp is the canonical consumer).
+  /// on_admit fires for every parse-ok record in read (pre-reorder) order —
+  /// the exact stream a recorder must persist to reproduce the windowing,
+  /// window cuts, memo behaviour, and digest.
+  std::function<void(const jobs::Instance&)> on_admit;
+  /// on_served fires per outcome under its stream-global index with the
+  /// accounted (queue, compute) latency split — after any replay override,
+  /// so a recorder persists exactly what a replay will account.
+  std::function<void(std::size_t index, bool ok, double queue_seconds,
+                     double compute_seconds)>
+      on_served;
+  /// Replay latency override, indexed by stream-global outcome index: when
+  /// set, per-class accounting and deadline scoring use these recorded
+  /// values instead of the live measurement — the deadline-miss tally, a
+  /// wall-clock measurement on a live serve, becomes bit-reproducible on
+  /// replay. Indices beyond the vector fall back to live measurement. The
+  /// digest never covers latencies, so it is unaffected either way.
+  const std::vector<std::pair<double, double>>* replay_latencies = nullptr;
 };
 
 /// Stats for one completed micro-batch.
@@ -154,6 +173,10 @@ struct StreamResult {
   /// (deterministic, see WindowStats::cancelled_attempts).
   std::size_t cancelled_attempts = 0;
   std::size_t deadline_misses = 0;  ///< stream total over all deadline classes
+  /// Leading comment lines of the stream (before the first record header) —
+  /// a traffic generator's manifest block, passed through for reporting and
+  /// for the record/replay harness. '#' prefixes preserved.
+  std::vector<std::string> preamble;
   /// One per window in stream order — capped to the most recent
   /// config.window_history entries when that is nonzero (the totals above
   /// and the window callback always cover every window).

@@ -23,6 +23,27 @@ std::string family_name(Family f) {
   return "unknown";
 }
 
+Family family_from_name(const std::string& name) {
+  for (Family f : all_families())
+    if (family_name(f) == name) return f;
+  std::string known;
+  for (Family f : all_families()) {
+    if (!known.empty()) known += ", ";
+    known += family_name(f);
+  }
+  throw std::invalid_argument("unknown generator family '" + name + "' (known: " +
+                              known + ")");
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over the combined state: the same mixer Prng uses
+  // for seeding, so derived seeds feed xoshiro exactly as well as raw ones.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 std::vector<Family> all_families() {
   return {Family::kAmdahl,       Family::kPowerLaw,       Family::kCommOverhead,
           Family::kTable,        Family::kMixed,          Family::kIdentical,

@@ -31,6 +31,24 @@ enum class Family {
 /// Human-readable family name (used by benches and tables).
 std::string family_name(Family f);
 
+/// Parses a family_name() string back to the enum; throws
+/// std::invalid_argument naming the known families on an unknown name.
+Family family_from_name(const std::string& name);
+
+/// Derives the seed of generator sub-stream `index` from a base seed with a
+/// splitmix64 finalizer over (base, index) — stateless and O(1) in index.
+///
+/// Seed-plumbing contract (audit result): nothing in this library seeds
+/// from the clock or from process-global state — every generator takes an
+/// explicit seed, and an instance is reproducible from (family, n, m, seed)
+/// alone. What call sites used to get wrong is the *derivation* of many
+/// per-instance seeds from one batch seed: linear schemes like
+/// `seed + K * i` make stream (s, i+K) collide with stream (s+K*K, i) and
+/// leave neighbouring seeds correlated. Deriving through this mixer instead
+/// keeps a whole batch reproducible from the single base seed a manifest
+/// records, with no cross-batch collisions in practice.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 /// All families valid for the paper's algorithms (monotone work).
 std::vector<Family> all_families();
 

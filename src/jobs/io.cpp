@@ -292,11 +292,18 @@ bool InstanceStreamReader::next(StreamRecord& record) {
       if (!std::getline(*is_, line)) return false;  // end of stream
       ++lineno_;
       const auto pos = line.find_first_not_of(" \t\r");
-      if (pos == std::string::npos || line[pos] == '#') continue;
+      if (pos == std::string::npos) continue;
+      if (line[pos] == '#') {
+        // Comments ahead of the first record are the stream's preamble — a
+        // generator's manifest block, kept for reporting and replay.
+        if (!saw_header_) preamble_.push_back(line.substr(pos));
+        continue;
+      }
       if (is_record_header(line)) {
         pending_header_ = line;
         pending_line_ = lineno_;
         have_pending_ = true;
+        saw_header_ = true;
         break;
       }
       record = StreamRecord{};

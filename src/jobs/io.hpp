@@ -103,6 +103,13 @@ class InstanceStreamReader {
   /// instance gets "stream-<ordinal>" as its name.
   bool next(StreamRecord& record);
 
+  /// Comment lines seen before the first record header — a traffic
+  /// generator's manifest block ('#' prefixes preserved, leading whitespace
+  /// stripped). Complete once next() has been called at least once;
+  /// comments after the first header belong to record bodies and are
+  /// dropped there as before.
+  const std::vector<std::string>& preamble() const { return preamble_; }
+
  private:
   std::istream* is_;
   std::string pending_header_;  ///< lookahead: the next record's header line
@@ -110,6 +117,8 @@ class InstanceStreamReader {
   bool have_pending_ = false;
   std::size_t lineno_ = 0;
   std::size_t ordinal_ = 0;
+  std::vector<std::string> preamble_;
+  bool saw_header_ = false;  ///< a first record header ends the preamble
 };
 
 }  // namespace moldable::jobs

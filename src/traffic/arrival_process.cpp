@@ -1,0 +1,46 @@
+#include "src/traffic/arrival_process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moldable::traffic {
+
+ArrivalProcess::ArrivalProcess(const RateCurve& curve, double horizon,
+                               std::uint64_t seed)
+    : curve_(&curve), horizon_(horizon), envelope_(curve.max_rate()), rng_(seed) {
+  if (!(horizon > 0) || !std::isfinite(horizon))
+    throw std::invalid_argument("arrival process: horizon must be finite and > 0");
+  if (!(envelope_ > 0) || !std::isfinite(envelope_))
+    throw std::invalid_argument("arrival process: curve envelope must be finite and > 0");
+}
+
+bool ArrivalProcess::next(double& t) {
+  while (true) {
+    // Homogeneous candidate at rate λ*: gap ~ Exp(λ*). uniform01() < 1, so
+    // log1p(-u) is finite; u == 0 gives a zero gap, hence "non-decreasing"
+    // rather than "strictly increasing" arrivals.
+    clock_ += -std::log1p(-rng_.uniform01()) / envelope_;
+    if (clock_ > horizon_) return false;
+    // Thinning: keep the candidate with probability λ(t)/λ*. The comparison
+    // uses one uniform draw per candidate whether or not it is accepted, so
+    // the consumed PRNG stream is a pure function of the candidate sequence.
+    if (rng_.uniform01() * envelope_ < curve_->rate(clock_)) {
+      t = clock_;
+      return true;
+    }
+  }
+}
+
+std::vector<double> ArrivalProcess::all() {
+  std::vector<double> times;
+  double t;
+  while (next(t)) times.push_back(t);
+  return times;
+}
+
+std::vector<double> ArrivalProcess::generate(const RateCurve& curve, double horizon,
+                                             std::uint64_t seed) {
+  return ArrivalProcess(curve, horizon, seed).all();
+}
+
+}  // namespace moldable::traffic

@@ -1,0 +1,50 @@
+// Inhomogeneous-Poisson arrival times by thinning (Lewis & Shedler; the
+// exact construction the IPPP paper builds its conditional densities on).
+//
+// Candidates are drawn from a homogeneous Poisson process at the curve's
+// analytic envelope rate λ* = max_rate(): exponential gaps dt ~ Exp(λ*).
+// Each candidate at time t is accepted with probability λ(t)/λ*, which
+// thins the homogeneous stream down to exactly the inhomogeneous intensity
+// λ. Both draws come from one seeded util::Prng, so the arrival sequence is
+// a pure function of (curve, horizon, seed) — bit-identical on every
+// platform, which is what lets a traffic manifest reproduce a storm from
+// three numbers.
+//
+// The process is streaming: next() yields one arrival at a time in
+// non-decreasing order until the horizon is exhausted, so million-arrival
+// storms never materialize a vector unless the caller asks for one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/traffic/rate_curve.hpp"
+#include "src/util/prng.hpp"
+
+namespace moldable::traffic {
+
+class ArrivalProcess {
+ public:
+  /// The curve must outlive the process. Requires a finite horizon > 0.
+  ArrivalProcess(const RateCurve& curve, double horizon, std::uint64_t seed);
+
+  /// Yields the next accepted arrival time in [0, horizon]; returns false
+  /// when the horizon is exhausted. Times are non-decreasing.
+  bool next(double& t);
+
+  /// Drains the remaining arrivals into a vector.
+  std::vector<double> all();
+
+  /// One-shot convenience: every arrival of (curve, horizon, seed).
+  static std::vector<double> generate(const RateCurve& curve, double horizon,
+                                      std::uint64_t seed);
+
+ private:
+  const RateCurve* curve_;
+  double horizon_;
+  double envelope_;  ///< λ* — the thinning proposal rate
+  double clock_ = 0;
+  util::Prng rng_;
+};
+
+}  // namespace moldable::traffic

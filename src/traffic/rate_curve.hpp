@@ -1,0 +1,129 @@
+// Intensity functions λ(t) for inhomogeneous-Poisson traffic generation.
+//
+// A RateCurve is the deterministic half of a storm: it fixes the expected
+// arrival intensity at every instant, and the thinning construction in
+// arrival_process.hpp turns it into actual arrival times. Every curve
+// exposes two analytic quantities the stochastic layer depends on:
+//
+//   * max_rate() — a finite upper envelope λ* >= λ(t) for all t >= 0, the
+//     homogeneous rate the thinning algorithm proposes candidates at. The
+//     tighter it is, the fewer candidates are rejected; correctness only
+//     needs λ* >= sup λ.
+//   * mean_count(t0, t1) — the exact integral of λ over [t0, t1], i.e. the
+//     expected number of arrivals in the interval. The property tests
+//     compare empirical counts against this analytically, with no numeric
+//     quadrature error muddying the confidence bounds.
+//
+// Three families cover the serving scenarios ROADMAP names:
+//
+//   * PiecewiseConstantCurve — stepped load plans ("20/s for a minute, then
+//     60/s"), including plain uniform traffic as the single-step case;
+//   * DiurnalCurve — a sinusoidal day/night swing around a base rate;
+//   * FlashCrowdCurve — a baseline plus one trapezoidal spike (linear ramp,
+//     hold at peak, linear decay): the flash-crowd / thundering-herd shape.
+//
+// Curves round-trip through a compact spec string ("flash:base=20,peak=400,
+// t0=20,ramp=5,hold=15,decay=20") so a traffic manifest can name the exact
+// curve that generated a stream and parse_curve_spec can rebuild it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace moldable::traffic {
+
+class RateCurve {
+ public:
+  virtual ~RateCurve() = default;
+
+  /// Intensity λ(t) >= 0 at time t >= 0 (curves are defined on [0, inf)).
+  virtual double rate(double t) const = 0;
+
+  /// Finite analytic envelope: max_rate() >= rate(t) for all t >= 0, and
+  /// strictly positive (a curve that is zero everywhere generates nothing
+  /// and is rejected at construction).
+  virtual double max_rate() const = 0;
+
+  /// Exact integral of λ over [t0, t1] — the expected arrival count in the
+  /// interval. Requires 0 <= t0 <= t1.
+  virtual double mean_count(double t0, double t1) const = 0;
+
+  /// Canonical spec string; parse_curve_spec(spec()) rebuilds an equivalent
+  /// curve (doubles printed round-trip exactly).
+  virtual std::string spec() const = 0;
+};
+
+/// Stepped intensity: rate steps[i].rate on [steps[i].start, steps[i+1].start),
+/// the last step extending to infinity. Steps must start at 0, have strictly
+/// increasing start times, finite rates >= 0, and at least one positive rate.
+/// Spec: "steps:<start>=<rate>,..." ("const:rate=R" parses as the one-step
+/// curve starting at 0).
+class PiecewiseConstantCurve : public RateCurve {
+ public:
+  struct Step {
+    double start = 0;
+    double rate = 0;
+  };
+
+  explicit PiecewiseConstantCurve(std::vector<Step> steps);
+
+  double rate(double t) const override;
+  double max_rate() const override { return max_rate_; }
+  double mean_count(double t0, double t1) const override;
+  std::string spec() const override;
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  double max_rate_ = 0;
+};
+
+/// Sinusoidal day/night swing: λ(t) = base + amplitude/2 * (1 + sin(2π (t -
+/// phase) / period)), oscillating between base and base + amplitude with
+/// mean base + amplitude/2. Requires base >= 0, amplitude >= 0, period > 0,
+/// base + amplitude > 0; everything finite.
+/// Spec: "diurnal:base=B,amp=A,period=P,phase=F".
+class DiurnalCurve : public RateCurve {
+ public:
+  DiurnalCurve(double base, double amplitude, double period, double phase = 0);
+
+  double rate(double t) const override;
+  double max_rate() const override { return base_ + amplitude_; }
+  double mean_count(double t0, double t1) const override;
+  std::string spec() const override;
+
+ private:
+  double base_, amplitude_, period_, phase_;
+};
+
+/// Baseline plus one trapezoidal spike: λ = base outside the spike; from t0
+/// it ramps linearly to peak over `ramp` seconds, holds at peak for `hold`
+/// seconds, then decays linearly back to base over `decay` seconds. Requires
+/// base >= 0, peak >= base, max(base, peak) > 0, t0/ramp/hold/decay >= 0;
+/// everything finite. Spec: "flash:base=B,peak=P,t0=T,ramp=R,hold=H,decay=D".
+class FlashCrowdCurve : public RateCurve {
+ public:
+  FlashCrowdCurve(double base, double peak, double t0, double ramp, double hold,
+                  double decay);
+
+  double rate(double t) const override;
+  double max_rate() const override { return peak_ > base_ ? peak_ : base_; }
+  double mean_count(double t0, double t1) const override;
+  std::string spec() const override;
+
+ private:
+  double base_, peak_, t0_, ramp_, hold_, decay_;
+};
+
+/// Parses a curve spec: "<preset>" or "<preset>:key=value,...". Presets:
+///   flash   [base=20 peak=400 t0=20 ramp=5 hold=15 decay=20]
+///   diurnal [base=15 amp=25 period=40 phase=0]
+///   steps   (no defaults: the key=value list IS the step list, start=rate)
+///   const   [rate=25] — sugar for the one-step piecewise-constant curve
+/// Throws std::invalid_argument with the offending token on any unknown
+/// preset, unknown key, malformed number, or curve-constructor rejection.
+std::unique_ptr<RateCurve> parse_curve_spec(const std::string& spec);
+
+}  // namespace moldable::traffic

@@ -1,69 +1,54 @@
 #!/bin/sh
-# Serve-mode determinism smokes (registered as the `stream_smoke` and
-# `stream_soak` ctest cases): pipe a stream through `batch_service --serve
-# --verify` on 1 and 4 worker threads and assert both runs print the same
-# rolling digest — and the same memo hit/miss/eviction counts. Each run also
-# self-checks in-process (--verify re-serves the buffered stream on 1
-# thread), so a mismatch fails twice over.
+# Serve-mode determinism smokes (the `stream_smoke`, `stream_soak`,
+# `race_soak`, and `storm` ctest cases): pipe a stream through
+# `batch_service --serve --verify` on 1 and 4 worker threads and assert
+# both runs print the same rolling digest — and the same memo
+# hit/miss/eviction counts. Each run also self-checks in-process (--verify
+# re-serves the buffered stream on 1 thread), so a mismatch fails twice
+# over. The soak/race/storm streams come from traffic_gen — inhomogeneous-
+# Poisson arrivals over a rate curve, a weighted SLA class mix, Pareto-
+# sized instances — so the determinism contract is certified on storm-
+# shaped traffic, not a hand-rolled fixture loop.
 #
 #   smoke  — replays the small checked-in fixture with an unbounded memo
 #            store (the original PR 3 smoke).
-#   soak   — generates a ~2000-instance stream (mostly distinct records,
-#            interleaved arrivals, an interactive deadline class) and serves
-#            it in the bounded endless-serve configuration:
-#            --memo-capacity 64 --window-history 8 --deadline. The distinct
-#            records overflow the capacity, so LRU eviction runs thousands
-#            of times and its determinism is what the digest/memo-count
-#            comparison certifies.
-#   race_soak — serves the soak stream (extended with single-job records
-#            where `exact` completes at the certified lower bound and
-#            early-cancels its peers) through the racing portfolio:
-#            --race --portfolio exact,fptas,mrt --memo-capacity 64
-#            --verify. Asserts that the rolling digest, the memo counts,
-#            AND the cancelled-attempt count are identical at 1 vs 4
-#            threads — and that the digest also matches a sequential
-#            (non---race) serve, the cross-mode half of the racing
-#            determinism contract. Runs under the TSan CI leg so the
-#            cancellation protocol executes under the race detector.
+#   soak   — a 2000-arrival diurnal stream (mostly content-distinct
+#            records, a duplicate every 11th arrival, an interactive
+#            deadline class) served in the bounded endless-serve
+#            configuration: --memo-capacity 64 --window-history 8
+#            --deadline. The distinct records overflow the capacity, so
+#            LRU eviction runs ~1800 times and its determinism is what the
+#            digest/memo-count comparison certifies.
+#   race_soak — a diurnal storm of mostly single-job instances on few
+#            machines — where `exact` completes at the estimator's
+#            certified lower bound and the racing early-cancel rule
+#            provably fires — served through --race --portfolio
+#            exact,fptas,mrt --memo-capacity 64 --verify. Asserts that
+#            the rolling digest, the memo counts, AND the cancelled-
+#            attempt count are identical at 1 vs 4 threads — and that the
+#            digest also matches a sequential (non---race) serve, the
+#            cross-mode half of the racing determinism contract. Runs
+#            under the TSan CI leg so the cancellation protocol executes
+#            under the race detector.
+#   storm  — the full acceptance pipeline: a >=10000-arrival flash-crowd
+#            storm recorded while served live at --threads 4 --race under
+#            the production configuration (racing portfolio, LRU memo,
+#            interactive deadline), then replayed from the record file at
+#            --threads 1 — batch_service --replay asserts the rolling
+#            digest and every deterministic counter (memo, cancelled,
+#            deadline misses) are bit-identical to the live session.
 set -eu
 
 bin=$1
 fixture=$2
 mode=${3:-smoke}
+traffic_gen=${4:-}
 
-generate_soak_stream() {
-    # ~2000 small records in plain io format. The parameter mix (machine
-    # count mod 97, job sizes mod 5/7, fractions mod 4/6) has a long period,
-    # so almost every record is content-distinct — far more keys than the
-    # capacity-64 memo store holds. Every 11th record repeats a fixed
-    # duplicate so the hit path stays exercised too.
-    # $1 = 1: interleave single-job records on few machines — the instances
-    # where `exact` completes at the estimator's certified lower bound and
-    # the racing early-cancel rule provably fires on the later lanes.
-    awk -v with_deciders="${1:-0}" 'BEGIN {
-        for (i = 0; i < 2000; ++i) {
-            printf "moldable-instance v1\n";
-            if (with_deciders && i % 13 == 5) {
-                printf "arrival %d\n", i % 50;
-                printf "machines %d\njob amdahl %d 0.%d\n\n",
-                       5 + i % 4, 2 + i % 6, 2 + i % 7;
-                continue;
-            }
-            if (i % 11 == 0) {
-                # Byte-identical repeat: always a memo hit once cached (its
-                # touches keep it off the LRU tail between repeats).
-                printf "arrival 7\nclass interactive\n";
-                printf "machines 32\njob amdahl 6 0.4\njob powerlaw 4 0.5\n\n";
-                continue;
-            }
-            printf "arrival %d\n", i % 50;
-            if (i % 3 == 0) printf "class interactive\n";
-            printf "machines %d\n", 16 + i % 97;
-            printf "job amdahl %d 0.%d\n", 3 + i % 5, 2 + i % 6;
-            printf "job powerlaw %d 0.%d\n", 2 + i % 7, 3 + i % 4;
-            printf "\n";
-        }
-    }'
+need_traffic_gen() {
+    if [ -z "$traffic_gen" ]; then
+        echo "stream_smoke.sh: mode '$mode' needs the traffic_gen binary as arg 4" >&2
+        exit 2
+    fi
 }
 
 case $mode in
@@ -75,9 +60,15 @@ smoke)
     }
     ;;
 soak)
+    need_traffic_gen
     stream=${TMPDIR:-/tmp}/stream_soak_$$.txt
     trap 'rm -f "$stream"' EXIT
-    generate_soak_stream > "$stream"
+    # 2000 arrivals, almost all content-distinct (per-arrival derived
+    # generator seeds) — far more keys than the capacity-64 memo store
+    # holds; every 11th arrival repeats a fixed duplicate so the hit path
+    # stays exercised too.
+    "$traffic_gen" --curve diurnal --seed 11 --horizon 80 --max-arrivals 2000 \
+                   --dup-every 11 --jobs-cap 16 --machines 24 > "$stream"
     run() {
         "$bin" --serve --verify --memo --memo-capacity 64 --window-history 8 \
                --deadline interactive=0.5 --window 16 --max-inflight 4 \
@@ -85,12 +76,16 @@ soak)
     }
     ;;
 race_soak)
+    need_traffic_gen
     stream=${TMPDIR:-/tmp}/stream_race_soak_$$.txt
     trap 'rm -f "$stream"' EXIT
-    generate_soak_stream 1 > "$stream"
-    # exact first so its certified-optimal completions on the single-job
-    # records early-cancel the fptas/mrt lanes; on everything else exact
-    # fails fast over its caps and the race degenerates gracefully.
+    # Pareto(1.5) from jobs-min 1 makes ~2/3 of the arrivals single-job
+    # instances on 4 machines — the deciders where `exact` completes at the
+    # certified lower bound and early-cancels the fptas/mrt lanes.
+    "$traffic_gen" --curve diurnal --seed 11 --horizon 40 --dup-every 11 \
+                   --jobs-min 1 --jobs-cap 8 --machines 4 > "$stream"
+    # exact first so its certified-optimal completions early-cancel the
+    # later lanes; where it can't win the race degenerates gracefully.
     run() {
         "$bin" --serve --verify --memo --memo-capacity 64 --window-history 8 \
                --race --portfolio exact,fptas,mrt --window 16 --max-inflight 4 \
@@ -102,8 +97,59 @@ race_soak)
                --threads 4 < "$stream"
     }
     ;;
+storm)
+    need_traffic_gen
+    tmp=${TMPDIR:-/tmp}
+    stream=$tmp/storm_$$.txt
+    record=$tmp/storm_$$.rec
+    trap 'rm -f "$stream" "$record"' EXIT
+    # The flash-crowd defaults over horizon 120 yield ~13000 arrivals for
+    # this seed (deterministic — the stream is a pure function of the
+    # flags); machines 4 keeps `exact` cheap enough for the sanitizer legs
+    # while still letting it win (and early-cancel) on the 1-job deciders.
+    "$traffic_gen" --curve flash --seed 7 --horizon 120 --dup-every 11 \
+                   --jobs-min 1 --jobs-cap 6 --machines 4 > "$stream"
+    arrivals=$(grep -c '^moldable-instance' "$stream")
+    if [ "$arrivals" -lt 10000 ]; then
+        echo "stream_smoke (storm): expected >=10000 arrivals, got $arrivals" >&2
+        exit 1
+    fi
+
+    live=$("$bin" --serve --threads 4 --race --portfolio exact,fptas,mrt \
+           --memo --memo-capacity 64 --deadline interactive=0.5 \
+           --window 16 --max-inflight 4 --record "$record" < "$stream")
+    dlive=$(printf '%s\n' "$live" | grep '^rolling digest:' || true)
+    mlive=$(printf '%s\n' "$live" | grep '^memo:' || true)
+    clive=$(printf '%s\n' "$live" | grep '^race:' || true)
+    if [ -z "$dlive" ] || [ -z "$mlive" ] || [ -z "$clive" ]; then
+        echo "stream_smoke (storm): live serve output missing digest/memo/race lines" >&2
+        exit 1
+    fi
+    case $mlive in
+    *" 0 eviction(s)"* | "memo: 0 hit(s)"*)
+        echo "stream_smoke (storm): expected LRU evictions and memo hits, got: $mlive" >&2
+        exit 1
+        ;;
+    esac
+    case $clive in
+    "race: 0 "*)
+        echo "stream_smoke (storm): expected cancelled attempts, got: $clive" >&2
+        exit 1
+        ;;
+    esac
+
+    # The acceptance gate: replay the recorded session on 1 thread;
+    # batch_service --replay exits nonzero unless the rolling digest and
+    # every deterministic counter match the recording bit for bit.
+    if ! "$bin" --replay "$record" --threads 1; then
+        echo "stream_smoke (storm): replay diverged from the recorded live serve" >&2
+        exit 1
+    fi
+    echo "stream_smoke (storm) OK: $arrivals arrivals; $dlive; $mlive; $clive; replay matched on 1 thread"
+    exit 0
+    ;;
 *)
-    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, or race_soak)" >&2
+    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, race_soak, or storm)" >&2
     exit 2
     ;;
 esac

@@ -16,6 +16,8 @@
 #include "src/engine/stream_solver.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
+#include "src/traffic/replay.hpp"
+#include "src/traffic/traffic_gen.hpp"
 
 namespace moldable::engine {
 namespace {
@@ -526,6 +528,245 @@ TEST(StreamSolver, InvalidConfigThrowsBeforeConsumingInput) {
   infinite_deadline.class_deadlines["interactive"] =
       std::numeric_limits<double>::infinity();
   expect_throw_without_reading(infinite_deadline);
+}
+
+// ---------------------------------------------------------- record/replay --
+// The bit-exact record/replay contract (traffic/replay.hpp): a session
+// recorded while served live at --threads 4 --race must replay on 1 thread
+// with an identical rolling digest and identical memo / cancelled /
+// deadline-miss counters; a truncated or tampered record file must be
+// rejected with a diagnostic naming the defect, and a tampered-but-
+// internally-consistent trailer must be caught by the replay comparison.
+
+/// A storm-shaped stream for the round-trip tests: Poisson arrivals, class
+/// mix, 1-job deciders (so the racing early-cancel rule fires), duplicates
+/// (so the memo hit path runs), enough distinct records to overflow a
+/// capacity-16 memo store.
+std::string recordable_stream() {
+  traffic::TrafficConfig config;
+  config.curve = "flash:base=30,peak=300,t0=2,ramp=1,hold=2,decay=2";
+  config.seed = 7;
+  config.horizon = 8;
+  config.jobs_min = 1;
+  config.jobs_cap = 6;
+  config.machines = 4;
+  config.duplicate_every = 9;
+  std::ostringstream out;
+  traffic::TrafficGenerator(config).write(out);
+  return out.str();
+}
+
+/// The serve configuration under test: racing portfolio, bounded LRU memo,
+/// an interactive deadline.
+StreamConfig recordable_config(unsigned threads) {
+  StreamConfig config;
+  config.window = 8;
+  config.max_inflight = 2;
+  config.variants = {"exact", "fptas", "mrt"};
+  config.race = true;
+  config.threads = threads;
+  config.memo = true;
+  config.memo_capacity = 16;
+  config.window_history = 4;
+  config.tie_break = TieBreak::kPortfolioOrder;
+  config.class_deadlines["interactive"] = 0.5;
+  return config;
+}
+
+/// Serves `text` under `config` while recording, and returns the record
+/// file text alongside the live result.
+std::pair<std::string, StreamResult> record_session(const std::string& text,
+                                                    const StreamConfig& config) {
+  std::ostringstream file;
+  traffic::StreamRecorder recorder(file, config);
+  std::istringstream input(text);
+  const StreamResult live = StreamSolver().run(input, recorder.instrument(config));
+  recorder.finalize(live);
+  return {file.str(), live};
+}
+
+TEST(StreamRecordReplay, FourThreadRaceSessionReplaysBitExactOnOneThread) {
+  const std::string text = recordable_stream();
+  const auto [record_text, live] = record_session(text, recordable_config(4));
+  ASSERT_GT(live.instances, 100u);
+  ASSERT_GT(live.cancelled_attempts, 0u) << "the deciders must trigger early-cancel";
+  ASSERT_GT(live.memo_hits, 0u);
+  ASSERT_GT(live.memo_evictions, 0u);
+
+  std::istringstream file(record_text);
+  const traffic::ReplayFile loaded = traffic::load_record(file);
+  // The config frame round-trips every deterministic knob.
+  EXPECT_EQ(loaded.config.window, 8u);
+  EXPECT_EQ(loaded.config.max_inflight, 2u);
+  EXPECT_EQ(loaded.config.variants, (std::vector<std::string>{"exact", "fptas", "mrt"}));
+  EXPECT_TRUE(loaded.config.race);
+  EXPECT_TRUE(loaded.config.memo);
+  EXPECT_EQ(loaded.config.memo_capacity, 16u);
+  EXPECT_EQ(loaded.config.tie_break, TieBreak::kPortfolioOrder);
+  ASSERT_EQ(loaded.config.class_deadlines.count("interactive"), 1u);
+  EXPECT_DOUBLE_EQ(loaded.config.class_deadlines.at("interactive"), 0.5);
+  // The trailer carries the live session's evidence.
+  EXPECT_EQ(loaded.rolling_digest, live.rolling_digest);
+  EXPECT_EQ(loaded.counters.instances, live.instances);
+  EXPECT_EQ(loaded.counters.cancelled_attempts, live.cancelled_attempts);
+  EXPECT_EQ(loaded.counters.deadline_misses, live.deadline_misses);
+  EXPECT_EQ(loaded.latencies.size(), live.instances);
+  // The source manifest (the traffic_gen preamble) is passed through.
+  ASSERT_FALSE(loaded.source_preamble.empty());
+  EXPECT_EQ(loaded.source_preamble.front(), "# traffic-manifest v1");
+
+  // The acceptance gate: replay on ONE thread, compare against the
+  // four-thread racing session.
+  const traffic::ReplayReport report = traffic::replay(loaded, 1);
+  EXPECT_TRUE(report.ok) << (report.mismatches.empty() ? "?" : report.mismatches[0]);
+  EXPECT_TRUE(report.mismatches.empty());
+  EXPECT_EQ(report.result.rolling_digest, live.rolling_digest);
+  EXPECT_EQ(report.result.memo_hits, live.memo_hits);
+  EXPECT_EQ(report.result.memo_misses, live.memo_misses);
+  EXPECT_EQ(report.result.memo_evictions, live.memo_evictions);
+  EXPECT_EQ(report.result.cancelled_attempts, live.cancelled_attempts);
+  EXPECT_EQ(report.result.deadline_misses, live.deadline_misses);
+}
+
+TEST(StreamRecordReplay, RecordBodyIsTheCanonicalReadOrderStream) {
+  // The body must be the canonical serialization of the records in READ
+  // order — the windowing is a pure function of (stream, config), so the
+  // pre-reorder stream is exactly what reproduces the session.
+  const std::string text = recordable_stream();
+  const auto [record_text, live] = record_session(text, recordable_config(2));
+
+  std::istringstream file(record_text);
+  const traffic::ReplayFile loaded = traffic::load_record(file);
+  std::istringstream original(text);
+  jobs::InstanceStreamReader reader(original);
+  jobs::StreamRecord record;
+  std::string canonical;
+  while (reader.next(record)) {
+    ASSERT_TRUE(record.ok);
+    canonical += jobs::to_text(record.instance);
+  }
+  EXPECT_EQ(loaded.body, canonical);
+  EXPECT_EQ(loaded.counters.instances, live.instances);
+}
+
+TEST(StreamRecordReplay, TruncatedFilesAreRejectedWithADiagnostic) {
+  const std::string record_text =
+      record_session(recordable_stream(), recordable_config(1)).first;
+  const auto expect_truncated = [](const std::string& text) {
+    std::istringstream file(text);
+    try {
+      traffic::load_record(file);
+      FAIL() << "a truncated record file must not load";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  };
+  // Cut mid-body (before the end sentinel)...
+  expect_truncated(record_text.substr(0, record_text.size() / 2));
+  // ...and mid-trailer (after the end sentinel but before the close).
+  const std::size_t end = record_text.find("# moldable-record-end v1");
+  ASSERT_NE(end, std::string::npos);
+  expect_truncated(record_text.substr(0, end + 25));
+  const std::size_t counters = record_text.find("# served ");
+  ASSERT_NE(counters, std::string::npos);
+  expect_truncated(record_text.substr(0, counters));
+
+  // Not a record file at all: a plain serve stream.
+  std::istringstream not_a_record(recordable_stream());
+  EXPECT_THROW(traffic::load_record(not_a_record), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(traffic::load_record(empty), std::runtime_error);
+}
+
+TEST(StreamRecordReplay, CorruptedBodyIsRejectedWithADiagnostic) {
+  std::string record_text =
+      record_session(recordable_stream(), recordable_config(1)).first;
+  // Flip one digit inside a record body line: the trailer digest no longer
+  // matches the bytes, which is exactly what "corrupted" means here.
+  const std::size_t job = record_text.find("job ");
+  ASSERT_NE(job, std::string::npos);
+  const std::size_t digit = record_text.find_first_of("0123456789", job);
+  ASSERT_NE(digit, std::string::npos);
+  record_text[digit] = record_text[digit] == '9' ? '8' : '9';
+  std::istringstream file(record_text);
+  try {
+    traffic::load_record(file);
+    FAIL() << "a corrupted record file must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupted"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos) << e.what();
+  }
+}
+
+TEST(StreamRecordReplay, ReplayCatchesATamperedCounter) {
+  // A record whose body is intact but whose trailer lies (memo-hits off by
+  // one) parses fine — the divergence must surface in the replay report,
+  // with the honest counters alongside.
+  std::string record_text =
+      record_session(recordable_stream(), recordable_config(1)).first;
+  const std::size_t hits = record_text.find("memo-hits=");
+  ASSERT_NE(hits, std::string::npos);
+  const std::size_t digit = hits + 10;
+  record_text[digit] = record_text[digit] == '9' ? '8' : '9';
+
+  std::istringstream file(record_text);
+  const traffic::ReplayFile loaded = traffic::load_record(file);
+  const traffic::ReplayReport report = traffic::replay(loaded, 1);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  EXPECT_NE(report.mismatches[0].find("memo hits"), std::string::npos)
+      << report.mismatches[0];
+}
+
+TEST(StreamRecordReplay, ReplayLatencyOverrideReproducesDeadlineMisses) {
+  // Deadline misses are wall-clock MEASUREMENTS — the one non-deterministic
+  // counter. The recorded latency table must reproduce them exactly even
+  // when they could never occur live (sub-millisecond instances against a
+  // 100-second threshold), proving replay scores the recorded values and
+  // not a fresh measurement.
+  const auto batch = small_batch(6);
+  std::vector<Instance> labelled;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Instance inst = batch[i];
+    inst.set_sla_class("interactive");
+    labelled.push_back(std::move(inst));
+  }
+  const std::string text = to_stream(labelled);
+
+  StreamConfig config;
+  config.window = 3;
+  config.threads = 1;
+  config.class_deadlines["interactive"] = 100.0;  // unmissable live
+
+  std::ostringstream file;
+  traffic::StreamRecorder recorder(file, config);
+  std::istringstream input(text);
+  StreamResult live = StreamSolver().run(input, recorder.instrument(config));
+  ASSERT_EQ(live.deadline_misses, 0u);
+
+  // Forge the session the recorder saw: pretend instances 1 and 4 took 200
+  // seconds. finalize() writes the forged latencies and honest counters
+  // must come from the result we claim — so patch both, as a recorder whose
+  // live run really measured those latencies would have.
+  std::ostringstream forged_file;
+  traffic::StreamRecorder forged(forged_file, config);
+  StreamConfig instrumented = forged.instrument(config);
+  std::vector<std::pair<double, double>> slow(labelled.size(), {0.001, 0.001});
+  slow[1] = {150.0, 50.0};
+  slow[4] = {10.0, 190.0};
+  instrumented.replay_latencies = &slow;  // the "measurement" of this session
+  std::istringstream again(text);
+  StreamResult slow_live = StreamSolver().run(again, instrumented);
+  EXPECT_EQ(slow_live.deadline_misses, 2u);  // the override fed the scoring
+  forged.finalize(slow_live);
+
+  std::istringstream record(forged_file.str());
+  const traffic::ReplayFile loaded = traffic::load_record(record);
+  EXPECT_EQ(loaded.counters.deadline_misses, 2u);
+  const traffic::ReplayReport report = traffic::replay(loaded, 2);
+  EXPECT_TRUE(report.ok) << (report.mismatches.empty() ? "?" : report.mismatches[0]);
+  EXPECT_EQ(report.result.deadline_misses, 2u);
 }
 
 }  // namespace
