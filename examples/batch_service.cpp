@@ -10,6 +10,14 @@
 //                           per-window stats, a rolling digest, per-SLA-
 //                           class latency splits, clean drain at EOF.
 //
+// Serve mode also runs over network-native sources (engine::InstanceSource
+// implementations from src/net): --listen ADDR multiplexes concurrent socket
+// clients into one merged stream (framed per-session results, admission cap,
+// per-session counters; see src/net/socket_server.hpp), and --watch DIR
+// serves instance files dropped into a directory under a served-file ledger
+// (see src/net/watch_dir.hpp). The solve pipeline — windowing, memo, racing,
+// record/replay — is identical over stdin, socket, and watch-dir input.
+//
 // Two solve modes (batch and serve alike):
 //   * single solver (--algorithm A, default auto)  -> engine::BatchSolver;
 //   * portfolio     (--portfolio a,b,c)            -> engine::PortfolioSolver,
@@ -54,6 +62,10 @@
 // re-serves a recorded session (at any --threads — the determinism
 // contract says the count must not matter) and fails loudly if the digest
 // or any counter diverges from the recording.
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +83,8 @@
 #include "src/engine/stream_solver.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/jobs/io.hpp"
+#include "src/net/socket_server.hpp"
+#include "src/net/watch_dir.hpp"
 #include "src/traffic/replay.hpp"
 #include "src/util/table.hpp"
 
@@ -101,6 +115,14 @@ struct Options {
   bool csv = false;
   bool verify = false;
   bool serve = false;           // stream records from stdin
+  std::string listen;           // serve records from socket clients (net layer)
+  std::size_t listen_sessions = 0;  // listen: drain after N sessions; 0 = endless
+  std::size_t max_sessions = 64;    // listen: admission cap on concurrent sessions
+  std::string port_file;            // listen: publish the bound TCP port here
+  std::string watch;                // serve records from files dropped in a dir
+  std::string watch_ledger;         // watch: served-file ledger path override
+  unsigned watch_poll_ms = 200;     // watch: rescan period while idle
+  std::size_t watch_idle_exit = 0;  // watch: exit after K empty rescans; 0 = never
   std::string record;           // serve: write a replayable session record
   std::string replay;           // re-serve a recorded session and check it
   std::size_t window = 16;      // serve: micro-batch size
@@ -130,6 +152,26 @@ void usage(const char* argv0) {
             << "  --serve         serve a stream of instance records from stdin\n"
             << "                  (concatenated io-format records) in arrival-\n"
             << "                  ordered micro-batches; drains at EOF\n"
+            << "  --listen ADDR   serve records arriving over a socket instead of\n"
+            << "                  stdin (HOST:PORT, :PORT, PORT, or unix:PATH;\n"
+            << "                  TCP port 0 = kernel-chosen). Concurrent client\n"
+            << "                  sessions merge into one stream; each gets its\n"
+            << "                  results back as framed (session, index) messages\n"
+            << "  --listen-sessions N  listen: stop accepting after N sessions and\n"
+            << "                  drain (0 = serve until killed, the default)\n"
+            << "  --max-sessions N  listen: admission cap on concurrent sessions;\n"
+            << "                  clients over the cap get a named REJECT frame\n"
+            << "                  (default 64)\n"
+            << "  --port-file F   listen: write the bound TCP port to F (atomic\n"
+            << "                  rename) — how scripts learn a port-0 choice\n"
+            << "  --watch DIR     serve instance files dropped into DIR (rename-\n"
+            << "                  into-place; .tmp/.part/dotfiles skipped); a\n"
+            << "                  served-file ledger makes restarts not double-\n"
+            << "                  serve\n"
+            << "  --watch-ledger F  watch: ledger path (default DIR/.moldable-served)\n"
+            << "  --watch-poll-ms N  watch: rescan period while idle (default 200)\n"
+            << "  --watch-idle-exit K  watch: exit after K consecutive empty\n"
+            << "                  rescans (0 = watch forever, the default)\n"
             << "  --record FILE   serve: capture the session (stream + config +\n"
             << "                  latencies + digests + counters) as a replayable\n"
             << "                  record file\n"
@@ -206,6 +248,32 @@ Options parse(int argc, char** argv) {
       }
     }
     else if (arg == "--serve") opt.serve = true;
+    else if (arg == "--listen") {
+      opt.listen = value();
+      if (opt.listen.empty()) {
+        std::cerr << "empty --listen address\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--listen-sessions") opt.listen_sessions = std::stoull(value());
+    else if (arg == "--max-sessions") opt.max_sessions = std::stoull(value());
+    else if (arg == "--port-file") {
+      opt.port_file = value();
+      if (opt.port_file.empty()) {
+        std::cerr << "empty --port-file path\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--watch") {
+      opt.watch = value();
+      if (opt.watch.empty()) {
+        std::cerr << "empty --watch directory\n";
+        std::exit(2);
+      }
+    }
+    else if (arg == "--watch-ledger") opt.watch_ledger = value();
+    else if (arg == "--watch-poll-ms") opt.watch_poll_ms = static_cast<unsigned>(std::stoul(value()));
+    else if (arg == "--watch-idle-exit") opt.watch_idle_exit = std::stoull(value());
     else if (arg == "--record") {
       opt.record = value();
       if (opt.record.empty()) {
@@ -324,6 +392,18 @@ std::string fmt_digest(std::uint64_t digest) {
   char hex[32];
   std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(digest));
   return hex;
+}
+
+// SIGINT/SIGTERM under --listen means "drain, don't die": the handler may
+// only touch async-signal-safe state, so it shuts down the raw listening fd
+// (a lock-free exchange + one syscall). The accept loop exits, sessions
+// already connected drain normally, and the run finishes through the
+// ordinary report/record path.
+std::atomic<int> g_listen_fd{-1};
+
+extern "C" void handle_drain_signal(int) {
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 void print_digest_line(std::size_t solved, std::size_t failed, double wall_seconds,
@@ -487,9 +567,47 @@ int run_serve(const Options& opt) {
     std::cout << ", rolling digest " << fmt_digest(w.rolling_digest) << "\n";
   };
   const auto on_error = [](const moldable::engine::StreamError& e) {
-    std::cerr << "skipping malformed record " << e.ordinal << " (stream line " << e.line
-              << "): " << e.message << "\n";
+    std::cerr << "skipping malformed record " << e.ordinal;
+    if (e.tag != 0) std::cerr << " from session " << e.tag;
+    std::cerr << " (stream line " << e.line << "): " << e.message << "\n";
   };
+
+  // Ingestion source: a socket listener, a watched directory, or stdin — the
+  // serve loop itself is identical over all three (that is the point of
+  // engine::InstanceSource).
+  std::unique_ptr<moldable::net::SocketServer> server;
+  std::unique_ptr<moldable::net::WatchDirSource> watcher;
+  std::unique_ptr<moldable::engine::IstreamSource> stdin_source;
+  moldable::engine::InstanceSource* source = nullptr;
+  if (!opt.listen.empty()) {
+    moldable::net::SocketServerConfig net_config;
+    net_config.address = opt.listen;
+    net_config.max_sessions = opt.max_sessions;
+    net_config.expected_sessions = opt.listen_sessions;
+    net_config.port_file = opt.port_file;
+    server = std::make_unique<moldable::net::SocketServer>(net_config);
+    server->start();
+    source = server.get();
+    g_listen_fd.store(server->listen_socket_fd());
+    std::signal(SIGINT, handle_drain_signal);
+    std::signal(SIGTERM, handle_drain_signal);
+    std::cout << "listening on " << server->endpoint();
+    if (opt.listen_sessions != 0)
+      std::cout << " (draining after " << opt.listen_sessions << " session(s))";
+    std::cout << "\n" << std::flush;  // scripts poll for this line / the port file
+  } else if (!opt.watch.empty()) {
+    moldable::net::WatchDirConfig watch_config;
+    watch_config.dir = opt.watch;
+    watch_config.ledger = opt.watch_ledger;
+    watch_config.poll_ms = opt.watch_poll_ms;
+    watch_config.idle_exit_scans = opt.watch_idle_exit;
+    watcher = std::make_unique<moldable::net::WatchDirSource>(watch_config);
+    source = watcher.get();
+    std::cout << "watching " << opt.watch << "\n" << std::flush;
+  } else {
+    stdin_source = std::make_unique<moldable::engine::IstreamSource>(std::cin);
+    source = stdin_source.get();
+  }
 
   // --record captures the session as served: the configured (instrumented)
   // run is the one recorded; the --verify reference run below deliberately
@@ -503,6 +621,19 @@ int run_serve(const Options& opt) {
       throw std::runtime_error("cannot open --record file " + opt.record);
     recorder = std::make_unique<moldable::traffic::StreamRecorder>(record_file, config);
     serve_config = recorder->instrument(config);
+  }
+  if (server) {
+    // Chain result routing behind whatever on_served is already installed
+    // (the recorder's latency capture): each outcome goes back to its
+    // originating session as a framed (session, index) message.
+    moldable::net::SocketServer* raw_server = server.get();
+    auto prev = serve_config.on_served;
+    serve_config.on_served = [raw_server, prev](std::size_t index, std::uint64_t tag,
+                                                bool ok, double queue_seconds,
+                                                double compute_seconds) {
+      if (prev) prev(index, tag, ok, queue_seconds, compute_seconds);
+      raw_server->publish(index, tag, ok, queue_seconds, compute_seconds);
+    };
   }
 
   StreamResult result;
@@ -526,8 +657,30 @@ int run_serve(const Options& opt) {
     }
     std::cout << "determinism: OK (rolling digest matches single-threaded reference)\n";
   } else {
-    result = solver.run(std::cin, serve_config, on_window, on_error);
+    result = solver.run(*source, serve_config, on_window, on_error);
   }
+  if (server) {
+    // The serve loop drained (every session at EOF): flush each session's
+    // SUMMARY frame, close the connections, and report the tallies. Disarm
+    // the drain handler first — finish() closes the fd, and a late signal
+    // must not shutdown() whatever the kernel reuses that number for.
+    g_listen_fd.store(-1);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    server->finish();
+    for (const auto& s : server->session_counters()) {
+      std::cout << "session " << s.id << ": " << s.records << " record(s), "
+                << s.malformed << " malformed, " << s.results << " result(s) ("
+                << s.solved << " solved, " << s.failed << " failed)"
+                << (s.write_failed ? " [client vanished]" : "") << "\n";
+    }
+    const moldable::net::ServerCounters totals = server->counters();
+    std::cout << "sessions: " << totals.accepted << " completed, " << totals.rejected
+              << " rejected (cap " << opt.max_sessions << ")\n";
+  }
+  if (watcher)
+    std::cout << "watch: " << watcher->files_served() << " file(s) served over "
+              << watcher->rescans() << " rescan(s)\n";
   if (recorder) {
     recorder->finalize(result);
     record_file.close();
@@ -610,7 +763,7 @@ int run_replay(const Options& opt) {
 
 int main(int argc, char** argv) {
   try {
-    const Options opt = parse(argc, argv);
+    Options opt = parse(argc, argv);  // --listen/--watch flip serve below
     if (!opt.portfolio.empty() && opt.algorithm_set)
       std::cerr << "warning: --algorithm is ignored when --portfolio is given "
                    "(add it to the portfolio list to race it)\n";
@@ -621,10 +774,36 @@ int main(int argc, char** argv) {
                    "no peers to cancel)\n";
       return 2;
     }
+    if (!opt.listen.empty() && !opt.watch.empty()) {
+      std::cerr << "--listen and --watch are both ingestion sources; pick one\n";
+      return 2;
+    }
+    if ((!opt.listen.empty() || !opt.watch.empty()) && opt.verify) {
+      std::cerr << "--verify buffers stdin to serve it twice; a socket or "
+                   "watched-dir stream cannot rewind. Use --record and replay "
+                   "the session instead\n";
+      return 2;
+    }
+    if ((!opt.listen.empty() || !opt.watch.empty()) && !opt.input.empty()) {
+      std::cerr << "--listen/--watch are serve-mode sources; they cannot be "
+                   "combined with --input\n";
+      return 2;
+    }
+    if (opt.listen.empty() &&
+        (opt.listen_sessions != 0 || opt.max_sessions != 64 || !opt.port_file.empty()))
+      std::cerr << "warning: --listen-sessions/--max-sessions/--port-file only "
+                   "affect --listen mode\n";
+    if (opt.watch.empty() &&
+        (!opt.watch_ledger.empty() || opt.watch_poll_ms != 200 ||
+         opt.watch_idle_exit != 0))
+      std::cerr << "warning: --watch-ledger/--watch-poll-ms/--watch-idle-exit "
+                   "only affect --watch mode\n";
+    if (!opt.listen.empty() || !opt.watch.empty()) opt.serve = true;
     if (!opt.replay.empty()) {
       if (opt.serve || !opt.input.empty() || !opt.record.empty()) {
         std::cerr << "--replay re-serves a recorded session; it cannot be "
-                     "combined with --serve, --input, or --record\n";
+                     "combined with --serve, --listen, --watch, --input, or "
+                     "--record\n";
         return 2;
       }
       if (opt.window_set || opt.serve_only_set || opt.memo || opt.race ||

@@ -11,13 +11,26 @@
 // manifest header repeats the flags and the trailer carries the arrival
 // count and record digest, so a storm can be regenerated (or checked)
 // anywhere from its first few lines. A one-line summary goes to stderr.
+//
+// --connect ADDR turns the generator into a serving client: the same storm
+// bytes go over a socket to `batch_service --listen` instead of stdout, the
+// write side is half-closed (the protocol's end-of-stream), and the framed
+// responses are consumed off the read side — WELCOME (session id), one
+// RESULT per record, a SUMMARY trailer, or a named REJECT when the server's
+// admission cap is hit. Exit status checks the round trip: every arrival
+// sent must come back as a result.
+#include <sys/socket.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/jobs/generators.hpp"
+#include "src/net/fd_io.hpp"
+#include "src/net/framing.hpp"
 #include "src/traffic/traffic_gen.hpp"
 
 namespace {
@@ -50,11 +63,21 @@ void usage(const char* argv0) {
       << "  --families A,B  generator families to draw from (default\n"
       << "                  amdahl,powerlaw,comm,mixed)\n"
       << "  --dup-every K   every Kth arrival repeats one fixed instance —\n"
-      << "                  memoization fodder (0 = off, the default)\n";
+      << "                  memoization fodder (0 = off, the default)\n"
+      << "  --connect ADDR  send the storm to a `batch_service --listen` server\n"
+      << "                  (HOST:PORT, :PORT, PORT, or unix:PATH) instead of\n"
+      << "                  stdout, and check the framed responses: exit 0 only\n"
+      << "                  if admitted and every arrival came back as a result\n";
 }
 
-TrafficConfig parse(int argc, char** argv) {
+struct Options {
   TrafficConfig config;
+  std::string connect;  // empty = stream to stdout as before
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  TrafficConfig& config = opt.config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -86,6 +109,13 @@ TrafficConfig parse(int argc, char** argv) {
       }
     }
     else if (arg == "--dup-every") config.duplicate_every = std::stoull(value());
+    else if (arg == "--connect") {
+      opt.connect = value();
+      if (opt.connect.empty()) {
+        std::cerr << "empty --connect address\n";
+        std::exit(2);
+      }
+    }
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); std::exit(0); }
     else {
       std::cerr << "unknown option " << arg << "\n";
@@ -93,15 +123,126 @@ TrafficConfig parse(int argc, char** argv) {
       std::exit(2);
     }
   }
-  return config;
+  return opt;
+}
+
+/// Everything the response-reader thread learns from the server's frames;
+/// read by the main thread only after join() (which is the synchronization).
+struct SessionOutcome {
+  std::uint64_t session = 0;  // WELCOME
+  std::size_t results = 0;
+  std::size_t solved = 0;
+  bool rejected = false;
+  std::string reject_reason;
+  bool summary_seen = false;
+  moldable::net::SummaryFrame summary;
+  std::string protocol_error;  // decoder poison / truncated final frame
+};
+
+void read_responses(int fd, SessionOutcome& out) {
+  moldable::net::FrameDecoder decoder;
+  char buf[16 * 1024];
+  moldable::net::Frame frame;
+  for (;;) {
+    const long n = moldable::net::read_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // server closed (or hard error after close) — done
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    while (decoder.next(frame)) {
+      switch (frame.type) {
+        case moldable::net::FrameType::kWelcome:
+          out.session = moldable::net::decode_welcome(frame).session;
+          break;
+        case moldable::net::FrameType::kResult: {
+          const moldable::net::ResultFrame r = moldable::net::decode_result(frame);
+          ++out.results;
+          if (r.ok) ++out.solved;
+          break;
+        }
+        case moldable::net::FrameType::kReject:
+          out.rejected = true;
+          out.reject_reason = moldable::net::decode_reject(frame).reason;
+          break;
+        case moldable::net::FrameType::kSummary:
+          out.summary_seen = true;
+          out.summary = moldable::net::decode_summary(frame);
+          break;
+      }
+    }
+    if (decoder.failed()) {
+      out.protocol_error = decoder.error();
+      return;
+    }
+  }
+  if (decoder.pending_bytes() != 0)
+    out.protocol_error = "connection closed mid-frame (" +
+                         std::to_string(decoder.pending_bytes()) +
+                         " byte(s) of a truncated frame)";
+}
+
+int run_connect(const Options& opt) {
+  const TrafficGenerator generator(opt.config);
+  moldable::net::ScopedFd fd = moldable::net::dial(opt.connect);
+
+  // Responses stream back while the storm is still being sent — a reader
+  // thread keeps the socket drained so a large session can't deadlock on
+  // two full kernel buffers.
+  SessionOutcome outcome;
+  std::thread reader(read_responses, fd.get(), std::ref(outcome));
+
+  moldable::net::FdOutBuf obuf(fd.get());
+  std::ostream os(&obuf);
+  TrafficSummary summary{};
+  bool write_ok = true;
+  try {
+    summary = generator.write(os);
+    os.flush();
+    write_ok = os.good();
+  } catch (...) {
+    write_ok = false;
+  }
+  // Half-close: the protocol's end-of-stream marker. The server serves the
+  // tail of the stream and replies with the remaining results + SUMMARY.
+  ::shutdown(fd.get(), SHUT_WR);
+  reader.join();
+
+  if (outcome.rejected) {
+    std::cerr << "traffic_gen: rejected by " << opt.connect << ": "
+              << outcome.reject_reason << "\n";
+    return 1;
+  }
+  if (!outcome.protocol_error.empty()) {
+    std::cerr << "traffic_gen: protocol error: " << outcome.protocol_error << "\n";
+    return 1;
+  }
+  if (!write_ok) {
+    std::cerr << "traffic_gen: write failed to " << opt.connect << "\n";
+    return 1;
+  }
+  std::cerr << "traffic_gen: session " << outcome.session << ": sent "
+            << summary.arrivals << " arrival(s), received " << outcome.results
+            << " result(s) (" << outcome.solved << " solved)\n";
+  if (!outcome.summary_seen) {
+    std::cerr << "traffic_gen: server closed without a SUMMARY frame\n";
+    return 1;
+  }
+  if (outcome.results != summary.arrivals ||
+      outcome.summary.records != summary.arrivals ||
+      outcome.summary.results != outcome.results) {
+    std::cerr << "traffic_gen: result mismatch: summary reports "
+              << outcome.summary.records << " record(s) / " << outcome.summary.results
+              << " result(s)\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const TrafficConfig config = parse(argc, argv);
-    const TrafficGenerator generator(config);
+    const Options opt = parse(argc, argv);
+    if (!opt.connect.empty()) return run_connect(opt);
+    const TrafficGenerator generator(opt.config);
     const TrafficSummary summary = generator.write(std::cout);
     std::cout.flush();
     if (!std::cout) {
@@ -112,7 +253,7 @@ int main(int argc, char** argv) {
     std::snprintf(digest, sizeof(digest), "%016llx",
                   static_cast<unsigned long long>(summary.stream_digest));
     std::cerr << "traffic_gen: " << summary.arrivals << " arrival(s), curve "
-              << generator.curve().spec() << ", seed " << config.seed
+              << generator.curve().spec() << ", seed " << opt.config.seed
               << ", stream digest " << digest << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -32,6 +32,13 @@ StreamSolver::StreamSolver(const AlgorithmRegistry& registry) : registry_(&regis
 StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
                                const WindowCallback& on_window,
                                const ErrorCallback& on_error) const {
+  IstreamSource source(input);
+  return run(source, config, on_window, on_error);
+}
+
+StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& config,
+                               const WindowCallback& on_window,
+                               const ErrorCallback& on_error) const {
   // Fail fast, before consuming any input: a config typo must not eat half
   // a stream first. The same checks the per-window solvers repeat.
   if (config.window == 0)
@@ -89,8 +96,14 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
   StreamResult result;
   result.rolling_digest = detail::kFnvOffsetBasis;  // == empty batch digest
 
-  jobs::InstanceStreamReader reader(input);
-  std::vector<jobs::Instance> pending;  // the bounded reorder buffer
+  // The bounded reorder buffer: each admitted instance rides with its
+  // source tag so a served outcome can be routed back to the session that
+  // sent it, however the window cuts reordered it in between.
+  struct Pending {
+    jobs::Instance instance;
+    std::uint64_t tag;
+  };
+  std::vector<Pending> pending;
   const std::size_t capacity = config.window * config.max_inflight;
   pending.reserve(capacity);
 
@@ -116,29 +129,44 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
   };
   std::size_t global_index = 0;  // stream-wide outcome index for the digest
   bool exhausted = false;
+  // A flush marker stops the fill and drains every buffered record into
+  // windows before reading resumes — the quiet-source escape from the
+  // reorder horizon (a lone socket client's tail records must be served
+  // now, not when some future session's traffic finally fills the buffer).
+  bool flushing = false;
   util::Timer stream_timer;
 
   while (true) {
-    // Fill the reorder buffer up to its horizon (serial, stream order).
-    while (!exhausted && pending.size() < capacity) {
+    // Fill the reorder buffer up to its horizon (serial, merged stream
+    // order — whatever order the source yields IS the canonical order).
+    while (!exhausted && !flushing && pending.size() < capacity) {
       jobs::StreamRecord record;
-      if (!reader.next(record)) {
+      if (!source.next(record)) {
         exhausted = true;
         break;
       }
+      if (record.flush) {
+        if (config.on_flush) config.on_flush();
+        if (!pending.empty()) flushing = true;  // cut the backlog now
+        continue;  // an empty-buffer marker is a no-op
+      }
       if (!record.ok) {
+        // Malformed records never consume a stream-global index: the
+        // outcome index sequence stays gap-free even when a session
+        // disconnects mid-record and its tail parses as garbage.
         ++result.malformed;
         StreamError err;
         err.line = record.line;
         err.ordinal = record.ordinal;
+        err.tag = record.tag;
         err.message = record.error;
         if (on_error) on_error(err);
         result.errors.push_back(std::move(err));
         cap_history(result.errors);
         continue;
       }
-      pending.push_back(std::move(record.instance));
-      if (config.on_admit) config.on_admit(pending.back());
+      pending.push_back(Pending{std::move(record.instance), record.tag});
+      if (config.on_admit) config.on_admit(pending.back().instance);
     }
     if (pending.empty()) break;  // fully drained
 
@@ -146,18 +174,26 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     // deadline class carry a finite effective deadline and jump ahead of
     // the (+inf) rest; within equal deadlines, arrival order. Stable, so
     // full ties keep stream order — a pure function of the record stream
-    // and the config, no clock involved.
+    // and the config, no clock involved. Tags ride along and never order.
     std::stable_sort(pending.begin(), pending.end(),
-                     [&](const jobs::Instance& a, const jobs::Instance& b) {
-                       const double da = deadline_of(a), db = deadline_of(b);
+                     [&](const Pending& a, const Pending& b) {
+                       const double da = deadline_of(a.instance),
+                                    db = deadline_of(b.instance);
                        if (da != db) return da < db;
-                       return a.arrival() < b.arrival();
+                       return a.instance.arrival() < b.instance.arrival();
                      });
 
     const std::size_t take = std::min(config.window, pending.size());
-    std::vector<jobs::Instance> window(std::make_move_iterator(pending.begin()),
-                                       std::make_move_iterator(pending.begin() + take));
+    std::vector<jobs::Instance> window;
+    window.reserve(take);
+    std::vector<std::uint64_t> window_tags;
+    window_tags.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      window.push_back(std::move(pending[i].instance));
+      window_tags.push_back(pending[i].tag);
+    }
     pending.erase(pending.begin(), pending.begin() + take);
+    if (pending.empty()) flushing = false;  // flush satisfied: resume filling
 
     WindowStats stats;
     stats.index = result.windows;
@@ -169,13 +205,14 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     // replay override the recorded latencies stand in for the measurement,
     // making the deadline tally (and the sketches) reproduce the recorded
     // session exactly.
-    const auto account = [&](std::size_t index, const jobs::Instance& inst, bool ok,
-                             double queue_s, double compute_s) {
+    const auto account = [&](std::size_t index, std::uint64_t tag,
+                             const jobs::Instance& inst, bool ok, double queue_s,
+                             double compute_s) {
       if (config.replay_latencies && index < config.replay_latencies->size()) {
         queue_s = (*config.replay_latencies)[index].first;
         compute_s = (*config.replay_latencies)[index].second;
       }
-      if (config.on_served) config.on_served(index, ok, queue_s, compute_s);
+      if (config.on_served) config.on_served(index, tag, ok, queue_s, compute_s);
       auto it = classes.find(inst.sla_class());
       if (it == classes.end())
         it = classes.emplace(inst.sla_class(), ClassBucket(sketch_threshold)).first;
@@ -207,7 +244,8 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
         const PortfolioOutcome& o = r.outcomes[i];
         const std::size_t index = global_index++;
         o.mix_digest(result.rolling_digest, index);
-        account(index, window[i], o.ok, o.queue_seconds, o.compute_seconds);
+        account(index, window_tags[i], window[i], o.ok, o.queue_seconds,
+                o.compute_seconds);
       }
     } else {
       const BatchResult r =
@@ -222,7 +260,8 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
         const InstanceOutcome& o = r.outcomes[i];
         const std::size_t index = global_index++;
         o.mix_digest(result.rolling_digest, index);
-        account(index, window[i], o.ok, o.queue_seconds, o.wall_seconds);
+        account(index, window_tags[i], window[i], o.ok, o.queue_seconds,
+                o.wall_seconds);
       }
     }
     stats.memo_evictions = store_evictions() - evictions_before;
@@ -241,7 +280,7 @@ StreamResult StreamSolver::run(std::istream& input, const StreamConfig& config,
     cap_history(result.window_stats);
   }
   result.memo_evictions = store_evictions();
-  result.preamble = reader.preamble();
+  result.preamble = source.preamble();
 
   for (auto& [name, bucket] : classes) {  // std::map: sorted by class name
     ClassStats s;

@@ -2,7 +2,8 @@
 //
 // Where BatchSolver/PortfolioSolver solve one pre-materialized batch and
 // return, StreamSolver consumes an unbounded stream of instance records
-// (jobs::InstanceStreamReader — concatenated io-format records, e.g. stdin)
+// from an InstanceSource (a stdin pipe, a watched directory, a socket
+// listener multiplexing many client sessions — see instance_source.hpp)
 // and serves it as a sequence of bounded micro-batches:
 //
 //   * at most `window` instances are grouped per micro-batch;
@@ -16,6 +17,13 @@
 //     memo_capacity bounds the store under deterministic LRU eviction);
 //   * per-window stats are emitted as the window completes, and per-SLA-
 //     class latency splits are aggregated over the whole stream;
+//   * a flush marker in the stream (StreamRecord::flush — emitted by a
+//     multiplexing source when every connected session has drained, or
+//     written literally as `moldable-flush v1`) cuts the buffered records
+//     into windows immediately instead of waiting for the buffer to fill —
+//     without it, a quiet source would strand its tail records in the
+//     reorder buffer forever. Markers are part of the record sequence, so
+//     cuts stay a pure function of stream + config;
 //   * on end of input the buffer drains — the final window may be short,
 //     and no instance is ever dropped.
 //
@@ -45,7 +53,16 @@
 // one-shot batch digest over the concatenated windows (ordered as served).
 // Memo hit/miss/eviction counts are equally thread-count independent (serial
 // plan, serial LRU updates). Malformed records are isolated with a
-// diagnostic and never perturb the digest.
+// diagnostic and never perturb the digest — nor do they consume a
+// stream-global index, so outcome indices stay gap-free even when a source
+// injects errors mid-stream (a socket session disconnecting mid-record).
+//
+// Multi-source streams: with a multiplexing source the record sequence is
+// whatever merged order the source produced, and everything above holds
+// over that sequence verbatim. Each record's source tag rides along from
+// admission to the served-outcome callback (on_served) so a server can
+// route results back to the originating session; tags never influence
+// ordering, solving, or any digest.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +74,7 @@
 #include <vector>
 
 #include "src/engine/batch_solver.hpp"
+#include "src/engine/instance_source.hpp"
 #include "src/engine/portfolio.hpp"
 #include "src/engine/registry.hpp"
 
@@ -99,10 +117,17 @@ struct StreamConfig {
   std::function<void(const jobs::Instance&)> on_admit;
   /// on_served fires per outcome under its stream-global index with the
   /// accounted (queue, compute) latency split — after any replay override,
-  /// so a recorder persists exactly what a replay will account.
-  std::function<void(std::size_t index, bool ok, double queue_seconds,
-                     double compute_seconds)>
+  /// so a recorder persists exactly what a replay will account. `tag` is
+  /// the source's routing cookie for the served instance (a socket session
+  /// id; 0 for single-pipe sources) — how a network server knows which
+  /// connection gets this result frame.
+  std::function<void(std::size_t index, std::uint64_t tag, bool ok,
+                     double queue_seconds, double compute_seconds)>
       on_served;
+  /// Fires for every flush marker the source yields, in read order (between
+  /// the on_admit calls it separates) — a recorder persists the marker so a
+  /// replay reproduces the flush-driven window cuts. See StreamRecord::flush.
+  std::function<void()> on_flush;
   /// Replay latency override, indexed by stream-global outcome index: when
   /// set, per-class accounting and deadline scoring use these recorded
   /// values instead of the live measurement — the deadline-miss tally, a
@@ -152,6 +177,7 @@ struct ClassStats {
 struct StreamError {
   std::size_t line = 0;     ///< 1-based stream line where the record started
   std::size_t ordinal = 0;  ///< record position in the stream
+  std::uint64_t tag = 0;    ///< source routing tag (socket session id; 0 = none)
   std::string message;
 };
 
@@ -197,11 +223,17 @@ class StreamSolver {
   /// The registry must outlive the solver (the global registry always does).
   explicit StreamSolver(const AlgorithmRegistry& registry = AlgorithmRegistry::global());
 
-  /// Serves `input` to exhaustion. Throws std::invalid_argument up front —
+  /// Serves `source` to exhaustion. Throws std::invalid_argument up front —
   /// before consuming any input — for a zero window/max_inflight, an
   /// unknown or duplicate solver name, eps out of range, or a non-finite
   /// or non-positive class deadline; per-instance failures and malformed
   /// records are recorded, never thrown.
+  StreamResult run(InstanceSource& source, const StreamConfig& config,
+                   const WindowCallback& on_window = {},
+                   const ErrorCallback& on_error = {}) const;
+
+  /// Single-pipe convenience: wraps `input` in an IstreamSource. Identical
+  /// semantics (this was the only entry point before sources existed).
   StreamResult run(std::istream& input, const StreamConfig& config,
                    const WindowCallback& on_window = {},
                    const ErrorCallback& on_error = {}) const;

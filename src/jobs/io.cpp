@@ -279,10 +279,25 @@ bool is_record_header(const std::string& line) {
   return pos != std::string::npos && line.compare(pos, 17, "moldable-instance") == 0;
 }
 
+bool is_flush_marker(const std::string& line) {
+  return trim(line) == "moldable-flush v1";
+}
+
 }  // namespace
 
 bool InstanceStreamReader::next(StreamRecord& record) {
   std::string line;
+
+  // A flush marker that terminated the previously returned record is
+  // delivered now, in sequence — flush records consume no ordinal.
+  if (pending_flush_) {
+    pending_flush_ = false;
+    record = StreamRecord{};
+    record.flush = true;
+    record.line = pending_flush_line_;
+    record.ordinal = ordinal_;
+    return true;
+  }
 
   // Find the start of the next record. A non-blank, non-comment line outside
   // any record is itself returned as a malformed record (strictness over
@@ -298,6 +313,13 @@ bool InstanceStreamReader::next(StreamRecord& record) {
         // generator's manifest block, kept for reporting and replay.
         if (!saw_header_) preamble_.push_back(line.substr(pos));
         continue;
+      }
+      if (is_flush_marker(line)) {
+        record = StreamRecord{};
+        record.flush = true;
+        record.line = lineno_;
+        record.ordinal = ordinal_;
+        return true;
       }
       if (is_record_header(line)) {
         pending_header_ = line;
@@ -324,6 +346,13 @@ bool InstanceStreamReader::next(StreamRecord& record) {
       pending_header_ = line;
       pending_line_ = lineno_;
       have_pending_ = true;
+      break;
+    }
+    if (is_flush_marker(line)) {
+      // The marker ends this record like a header does; it is yielded as
+      // its own flush record on the NEXT call, preserving stream order.
+      pending_flush_ = true;
+      pending_flush_line_ = lineno_;
       break;
     }
     text += line;

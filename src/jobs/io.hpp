@@ -27,6 +27,7 @@
 // carry serving metadata for the stream layer — the algorithms ignore both.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -80,10 +81,23 @@ DirectoryLoad load_instances_from_dir(const std::string& dir);
 /// One record of a concatenated instance stream (see InstanceStreamReader).
 struct StreamRecord {
   bool ok = false;
+  /// Flush marker (`moldable-flush v1`): not an instance and not an error —
+  /// a cut point in the stream. A multiplexing source emits one when every
+  /// connected session has drained, telling the serve loop to cut its
+  /// reorder buffer into windows NOW instead of waiting for more traffic;
+  /// the reader yields one per marker line so a recorded stream replays
+  /// with identical window cuts. Flush records consume no ordinal and
+  /// never enter any digest.
+  bool flush = false;
   std::string error;     ///< parse diagnostic when !ok (line numbers are
                          ///< relative to the record, not the stream)
   std::size_t line = 0;  ///< 1-based stream line where the record starts
   std::size_t ordinal = 0;  ///< 0-based record position in the stream
+  /// Opaque routing tag for multiplexing sources (a socket session id, a
+  /// shard number). The reader always leaves it 0; the stream engine carries
+  /// it untouched from admission to the served-outcome callback and it never
+  /// enters any digest.
+  std::uint64_t tag = 0;
   Instance instance{{}, 1};  ///< the parsed instance when ok
 };
 
@@ -93,7 +107,10 @@ struct StreamRecord {
 /// is a valid stream. Malformed records are isolated: a record that fails
 /// to parse (or a stray non-comment line outside any record) is returned
 /// with ok == false and its diagnostic, and reading continues at the next
-/// header — one corrupt record never kills the stream.
+/// header — one corrupt record never kills the stream. A standalone
+/// `moldable-flush v1` line is a flush marker: it terminates the record
+/// being collected (like a header does) and is yielded as its own record
+/// with `flush == true`, see StreamRecord::flush.
 class InstanceStreamReader {
  public:
   explicit InstanceStreamReader(std::istream& is) : is_(&is) {}
@@ -115,6 +132,8 @@ class InstanceStreamReader {
   std::string pending_header_;  ///< lookahead: the next record's header line
   std::size_t pending_line_ = 0;
   bool have_pending_ = false;
+  bool pending_flush_ = false;  ///< a marker ended the record just returned
+  std::size_t pending_flush_line_ = 0;
   std::size_t lineno_ = 0;
   std::size_t ordinal_ = 0;
   std::vector<std::string> preamble_;

@@ -1,0 +1,138 @@
+// POSIX socket plumbing under the net layer: address parsing, listen/dial,
+// robust full-write, and streambuf adapters that let the existing text
+// machinery (jobs::InstanceStreamReader, traffic::TrafficGenerator::write)
+// run unchanged over a file descriptor.
+//
+// Address specs, used by `batch_service --listen` and `traffic_gen
+// --connect` alike:
+//
+//   "HOST:PORT"   TCP on a numeric IPv4 host ("localhost" accepted)
+//   ":PORT"       TCP on 127.0.0.1 (bind) / 127.0.0.1 (dial)
+//   "PORT"        same as ":PORT"
+//   "unix:PATH"   Unix-domain stream socket at PATH
+//
+// Port 0 asks the kernel for a free port — the collision-proof choice for
+// tests running under `ctest -j`; the bound port is read back with
+// local_port() and typically published through a port file (written to a
+// temp name and renamed into place, so a poller never reads a torn write).
+//
+// All writes here use MSG_NOSIGNAL: a peer that disconnected mid-result
+// must surface as an EPIPE error code, never as a process-killing SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <streambuf>
+#include <string>
+
+namespace moldable::net {
+
+/// A parsed address spec (see the header comment for the accepted forms).
+struct Address {
+  bool unix_domain = false;
+  std::string host;  ///< TCP only; numeric IPv4, "" = 127.0.0.1
+  std::uint16_t port = 0;
+  std::string path;  ///< unix-domain only
+};
+
+/// Parses a spec; throws std::invalid_argument naming the defect.
+Address parse_address(const std::string& spec);
+
+/// Human-readable round-trip of a parsed address ("127.0.0.1:8080",
+/// "unix:/tmp/s"). For TCP, `actual_port` (when nonzero) replaces a
+/// port-0 spec with the kernel-chosen port.
+std::string format_address(const Address& address, std::uint16_t actual_port = 0);
+
+/// Owns a file descriptor; closes on destruction. Movable, not copyable.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on the address (SO_REUSEADDR for TCP; a stale
+/// unix-socket file is unlinked first). Throws std::runtime_error with
+/// errno context on failure.
+ScopedFd listen_on(const Address& address, int backlog = 64);
+
+/// Connects to the address (blocking). Throws std::runtime_error on
+/// failure.
+ScopedFd dial(const Address& address);
+ScopedFd dial(const std::string& spec);
+
+/// The locally bound TCP port of a listening/connected socket (0 for
+/// unix-domain sockets).
+std::uint16_t local_port(int fd);
+
+/// Writes all `size` bytes (retrying short writes and EINTR, MSG_NOSIGNAL).
+/// Returns false on a hard error (EPIPE, ECONNRESET) — never raises
+/// SIGPIPE.
+bool send_all(int fd, const void* data, std::size_t size);
+
+/// Reads up to `size` bytes; retries EINTR. Returns bytes read, 0 on
+/// orderly EOF, -1 on a hard error.
+long read_some(int fd, void* data, std::size_t size);
+
+/// Writes `contents` to `path` atomically: temp file + rename into place —
+/// the same convention the watch-dir source expects of instance producers.
+/// Throws std::runtime_error on I/O failure. Used for --port-file.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+/// std::streambuf over a socket/pipe fd, read side. Lets an istream-based
+/// parser consume a connection incrementally (no buffering of the whole
+/// session). underflow() blocks in read(2); EOF when the peer half-closes.
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  static constexpr std::size_t kBufSize = 64 * 1024;
+  int fd_;
+  char buf_[kBufSize];
+};
+
+/// std::streambuf over a socket fd, write side (send_all under the hood).
+/// badbit on the ostream is the error signal — check `os.good()` after
+/// flush, exactly like a file stream.
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) { setp(buf_, buf_ + kBufSize); }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_buffer();
+
+  static constexpr std::size_t kBufSize = 64 * 1024;
+  int fd_;
+  char buf_[kBufSize];
+};
+
+}  // namespace moldable::net

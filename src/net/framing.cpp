@@ -1,0 +1,211 @@
+#include "src/net/framing.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace moldable::net {
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Cursor over a fixed-layout payload; throws on over-read so every typed
+/// decoder rejects short payloads with a uniform diagnostic.
+struct PayloadReader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+  const char* what;
+
+  std::uint64_t u64() {
+    if (pos + 8 > bytes.size())
+      throw std::runtime_error(std::string("frame: truncated ") + what + " payload");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint8_t u8() {
+    if (pos >= bytes.size())
+      throw std::runtime_error(std::string("frame: truncated ") + what + " payload");
+    return static_cast<unsigned char>(bytes[pos++]);
+  }
+
+  void done() {
+    if (pos != bytes.size())
+      throw std::runtime_error(std::string("frame: oversized ") + what + " payload");
+  }
+};
+
+void require_type(const Frame& frame, FrameType want, const char* what) {
+  if (frame.type != want)
+    throw std::runtime_error(std::string("frame: expected a ") + what + " frame, got type " +
+                             std::to_string(static_cast<int>(frame.type)));
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kWelcome) &&
+         t <= static_cast<std::uint8_t>(FrameType::kSummary);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  const std::size_t body = payload.size() + 1;  // type byte + payload
+  if (body > kMaxFrameBytes)
+    throw std::runtime_error("frame: payload exceeds kMaxFrameBytes");
+  std::string out;
+  out.reserve(4 + body);
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<char>((body >> (8 * i)) & 0xff));
+  out.push_back(static_cast<char>(type));
+  out += payload;
+  return out;
+}
+
+std::string encode(const WelcomeFrame& f) {
+  std::string p;
+  put_u64(p, f.session);
+  return encode_frame(FrameType::kWelcome, p);
+}
+
+std::string encode(const ResultFrame& f) {
+  std::string p;
+  put_u64(p, f.session);
+  put_u64(p, f.index);
+  p.push_back(f.ok ? 1 : 0);
+  put_f64(p, f.queue_seconds);
+  put_f64(p, f.compute_seconds);
+  return encode_frame(FrameType::kResult, p);
+}
+
+std::string encode(const RejectFrame& f) {
+  std::string p;
+  put_u64(p, f.session);
+  p += f.reason;
+  return encode_frame(FrameType::kReject, p);
+}
+
+std::string encode(const SummaryFrame& f) {
+  std::string p;
+  put_u64(p, f.session);
+  put_u64(p, f.records);
+  put_u64(p, f.malformed);
+  put_u64(p, f.results);
+  put_u64(p, f.solved);
+  put_u64(p, f.failed);
+  return encode_frame(FrameType::kSummary, p);
+}
+
+WelcomeFrame decode_welcome(const Frame& frame) {
+  require_type(frame, FrameType::kWelcome, "WELCOME");
+  PayloadReader r{frame.payload, 0, "WELCOME"};
+  WelcomeFrame f;
+  f.session = r.u64();
+  r.done();
+  return f;
+}
+
+ResultFrame decode_result(const Frame& frame) {
+  require_type(frame, FrameType::kResult, "RESULT");
+  PayloadReader r{frame.payload, 0, "RESULT"};
+  ResultFrame f;
+  f.session = r.u64();
+  f.index = r.u64();
+  f.ok = r.u8() != 0;
+  f.queue_seconds = r.f64();
+  f.compute_seconds = r.f64();
+  r.done();
+  return f;
+}
+
+RejectFrame decode_reject(const Frame& frame) {
+  require_type(frame, FrameType::kReject, "REJECT");
+  PayloadReader r{frame.payload, 0, "REJECT"};
+  RejectFrame f;
+  f.session = r.u64();
+  f.reason = frame.payload.substr(r.pos);
+  return f;
+}
+
+SummaryFrame decode_summary(const Frame& frame) {
+  require_type(frame, FrameType::kSummary, "SUMMARY");
+  PayloadReader r{frame.payload, 0, "SUMMARY"};
+  SummaryFrame f;
+  f.session = r.u64();
+  f.records = r.u64();
+  f.malformed = r.u64();
+  f.results = r.u64();
+  f.solved = r.u64();
+  f.failed = r.u64();
+  r.done();
+  return f;
+}
+
+void FrameDecoder::poison(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (failed_) return;
+  // Compact lazily: only when the dead prefix dominates, so feeding byte by
+  // byte stays O(n) overall.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (failed_) return false;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::size_t body = (static_cast<std::size_t>(p[0]) << 24) |
+                           (static_cast<std::size_t>(p[1]) << 16) |
+                           (static_cast<std::size_t>(p[2]) << 8) |
+                           static_cast<std::size_t>(p[3]);
+  if (body == 0) {
+    poison("frame: zero-length frame (no room for a type byte)");
+    return false;
+  }
+  if (body > max_frame_bytes_) {
+    poison("frame: length " + std::to_string(body) + " exceeds the " +
+           std::to_string(max_frame_bytes_) + "-byte cap");
+    return false;
+  }
+  if (avail < 4 + body) return false;  // torn frame: wait for more bytes
+  const std::uint8_t type = p[4];
+  if (!known_type(type)) {
+    poison("frame: unknown type byte " + std::to_string(type));
+    return false;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buffer_, consumed_ + 5, body - 1);
+  consumed_ += 4 + body;
+  return true;
+}
+
+}  // namespace moldable::net

@@ -1,0 +1,123 @@
+// Length-prefixed result framing for the socket serving protocol.
+//
+// Client -> server traffic is the plain serve-mode text stream (concatenated
+// io-format records — the same bytes you would pipe into `--serve`), closed
+// with a write-side shutdown. Server -> client traffic is framed: a 4-byte
+// big-endian length prefix covering a 1-byte frame type plus the payload.
+//
+//   WELCOME  u64 session-id                       — sent on admission
+//   RESULT   u64 session-id, u64 stream-global index, u8 ok,
+//            f64 queue-seconds, f64 compute-seconds
+//   REJECT   u64 session-id (0 pre-admission), reason text — then close
+//   SUMMARY  u64 session-id, u64 records, malformed, results, solved,
+//            failed                               — last frame before close
+//
+// Numeric payload fields are little-endian fixed width; doubles travel as
+// their IEEE-754 bit pattern. The decoder is incremental — feed it whatever
+// byte chunks recv() produced, torn mid-prefix or mid-payload, and it
+// reassembles frames — and defensive: a length prefix beyond kMaxFrameBytes
+// (or a zero-length frame, which cannot even hold a type byte) poisons the
+// decoder with a diagnostic instead of allocating attacker-chosen amounts.
+//
+// Everything here is pure byte shuffling — no sockets, no syscalls — so the
+// whole protocol surface unit-tests without a network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace moldable::net {
+
+/// Frames larger than this are a protocol violation (the biggest legitimate
+/// frame is a SUMMARY, well under 100 bytes; REJECT reasons are short text).
+constexpr std::size_t kMaxFrameBytes = 1 << 16;
+
+enum class FrameType : std::uint8_t {
+  kWelcome = 1,
+  kResult = 2,
+  kReject = 3,
+  kSummary = 4,
+};
+
+/// One decoded frame: the type byte plus the raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kWelcome;
+  std::string payload;
+};
+
+struct WelcomeFrame {
+  std::uint64_t session = 0;
+};
+
+struct ResultFrame {
+  std::uint64_t session = 0;
+  std::uint64_t index = 0;  ///< stream-global outcome index
+  bool ok = false;
+  double queue_seconds = 0;
+  double compute_seconds = 0;
+};
+
+struct RejectFrame {
+  std::uint64_t session = 0;  ///< 0 when rejected before admission
+  std::string reason;         ///< named reason, e.g. "session-cap: ..."
+};
+
+struct SummaryFrame {
+  std::uint64_t session = 0;
+  std::uint64_t records = 0;    ///< parse-ok records admitted from this session
+  std::uint64_t malformed = 0;  ///< records isolated with a diagnostic
+  std::uint64_t results = 0;    ///< result frames sent back
+  std::uint64_t solved = 0;
+  std::uint64_t failed = 0;
+};
+
+/// Wire encoding: length prefix + type byte + payload.
+std::string encode_frame(FrameType type, const std::string& payload);
+std::string encode(const WelcomeFrame& f);
+std::string encode(const ResultFrame& f);
+std::string encode(const RejectFrame& f);
+std::string encode(const SummaryFrame& f);
+
+/// Typed payload decoders. Throw std::runtime_error on a wrong frame type
+/// or a payload whose size does not match the fixed layout.
+WelcomeFrame decode_welcome(const Frame& frame);
+ResultFrame decode_result(const Frame& frame);
+RejectFrame decode_reject(const Frame& frame);
+SummaryFrame decode_summary(const Frame& frame);
+
+/// Incremental frame reassembly over an arbitrary chunking of the byte
+/// stream. Not thread-safe; one decoder per connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes (any chunking, including one byte at a time).
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Extracts the next complete frame. Returns false when more bytes are
+  /// needed — or when the decoder is poisoned (check failed()).
+  bool next(Frame& out);
+
+  /// True once a protocol violation was seen (oversized or zero-length
+  /// frame, unknown type byte). A poisoned decoder never yields again.
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames (0 on a clean EOF — a
+  /// nonzero value at connection close means a truncated final frame).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void poison(std::string message);
+
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace moldable::net

@@ -1,0 +1,130 @@
+#include "src/net/watch_dir.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+namespace moldable::net {
+
+namespace fs = std::filesystem;
+
+WatchDirSource::WatchDirSource(WatchDirConfig config) : config_(std::move(config)) {
+  std::error_code ec;
+  if (!fs::is_directory(config_.dir, ec))
+    throw std::runtime_error("watch-dir: not a directory: " + config_.dir);
+  ledger_path_ =
+      config_.ledger.empty() ? config_.dir + "/.moldable-served" : config_.ledger;
+
+  // The ledger is the restart contract: load what earlier runs served...
+  {
+    std::ifstream in(ledger_path_);
+    std::string line;
+    while (std::getline(in, line))
+      if (!line.empty()) served_.insert(line);
+  }
+  // ...and hold the append handle open so each pickup is one flushed line.
+  ledger_out_.open(ledger_path_, std::ios::app);
+  if (!ledger_out_)
+    throw std::runtime_error("watch-dir: cannot open ledger " + ledger_path_);
+}
+
+bool WatchDirSource::should_skip(const std::string& filename) const {
+  if (filename.empty() || filename[0] == '.') return true;  // dotfiles + default ledger
+  for (const std::string& suffix : config_.skip_suffixes)
+    if (filename.size() >= suffix.size() &&
+        filename.compare(filename.size() - suffix.size(), suffix.size(), suffix) == 0)
+      return true;
+  return false;
+}
+
+std::size_t WatchDirSource::rescan() {
+  ++rescans_;
+  std::vector<fs::path> fresh;
+  std::error_code ec;
+  for (fs::directory_iterator it(config_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code entry_ec;
+    if (!it->is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = it->path().filename().string();
+    if (should_skip(name)) continue;
+    // A custom ledger placed inside the watched dir must not serve itself.
+    if (it->path().lexically_normal() == fs::path(ledger_path_).lexically_normal())
+      continue;
+    if (served_.count(name)) continue;
+    fresh.push_back(it->path());
+  }
+  std::sort(fresh.begin(), fresh.end());  // deterministic pickup order
+
+  for (const fs::path& path : fresh) {
+    std::ifstream in(path);
+    if (!in) {
+      jobs::StreamRecord record;
+      record.ordinal = next_ordinal_++;
+      record.error = path.string() + ": cannot open";
+      queue_.push_back(std::move(record));
+    } else {
+      jobs::InstanceStreamReader reader(in);
+      jobs::StreamRecord record;
+      while (reader.next(record)) {
+        record.ordinal = next_ordinal_++;  // stream-wide, not per-file
+        if (!record.ok) record.error = path.string() + ": " + record.error;
+        queue_.push_back(std::move(record));
+        record = jobs::StreamRecord{};
+      }
+    }
+    // Ledger the file whether it parsed or not: a corrupt drop is reported
+    // once, never retried forever.
+    served_.insert(path.filename().string());
+    ledger_out_ << path.filename().string() << '\n';
+    ledger_out_.flush();
+    ++files_served_;
+  }
+  return fresh.size();
+}
+
+bool WatchDirSource::next(jobs::StreamRecord& record) {
+  std::size_t idle_scans = 0;
+  for (;;) {
+    if (!queue_.empty()) {
+      record = std::move(queue_.front());
+      queue_.pop_front();
+      flush_armed_ = true;  // records served since the last flush marker
+      return true;
+    }
+    if (flush_armed_) {
+      // The pickup backlog drained: emit one flush marker so the serve loop
+      // cuts its reorder buffer now instead of holding the tail of the last
+      // file until someone drops the next one.
+      flush_armed_ = false;
+      record = jobs::StreamRecord{};
+      record.flush = true;
+      record.ordinal = next_ordinal_;  // informational; flush consumes none
+      return true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex_);
+      if (stopped_) return false;
+    }
+    if (rescan() > 0) {
+      idle_scans = 0;
+      continue;
+    }
+    ++idle_scans;
+    if (config_.idle_exit_scans != 0 && idle_scans >= config_.idle_exit_scans)
+      return false;
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms),
+                      [&] { return stopped_; });
+  }
+}
+
+void WatchDirSource::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+}  // namespace moldable::net

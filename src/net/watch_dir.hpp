@@ -1,0 +1,95 @@
+// WatchDirSource: the "drop files in a directory" deployment shape as an
+// engine::InstanceSource.
+//
+// A producer writes instance files (each holding one or more concatenated
+// io-format records) into the watched directory using the rename-into-place
+// convention: write to a temp name the watcher ignores (a leading dot, or a
+// `.tmp`/`.part` suffix), then rename to the final name. rename(2) is
+// atomic within a filesystem, so the watcher never observes a torn file —
+// that convention is the entire partial-write story, and the same one the
+// server uses for its own --port-file.
+//
+// Pickup is deterministic per rescan: new files are served in sorted-path
+// order (the load_instances_from_dir rule), each file's records in file
+// order. A served-file ledger — one filename per line, appended and flushed
+// as each file is picked up — makes restarts safe: a new watcher over the
+// same ledger never double-serves a file, however many times the process
+// bounces. Files are identified by name (immutable-once-visible is implied
+// by rename-into-place), so producers must not reuse names.
+//
+// Termination: next() polls every poll_ms until stop() is called — or, when
+// idle_exit_scans is nonzero, until that many consecutive rescans found
+// nothing new (the batch-drain shape: "serve what lands until the dust
+// settles, then exit"; tests and `--watch-idle-exit` use this).
+//
+// A file that fails to parse yields malformed records with the file path in
+// the diagnostic — recorded, skipped, and still marked served in the
+// ledger, so one bad drop never wedges the watcher in a retry loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/instance_source.hpp"
+
+namespace moldable::net {
+
+struct WatchDirConfig {
+  std::string dir;     ///< directory to watch (must exist)
+  std::string ledger;  ///< served-file ledger path; "" = dir + "/.moldable-served"
+  unsigned poll_ms = 200;           ///< rescan period while idle
+  std::size_t idle_exit_scans = 0;  ///< exit after K consecutive empty rescans; 0 = never
+  /// Names skipped as in-flight writes (plus any leading-dot name):
+  std::vector<std::string> skip_suffixes = {".tmp", ".part"};
+};
+
+class WatchDirSource : public engine::InstanceSource {
+ public:
+  /// Loads the ledger (a missing ledger file is an empty one) and validates
+  /// the directory. Throws std::runtime_error on a missing directory or an
+  /// unwritable ledger.
+  explicit WatchDirSource(WatchDirConfig config);
+
+  /// Serves queued records; rescans when the queue runs dry. Blocking, one
+  /// consumer (the serve loop).
+  bool next(jobs::StreamRecord& record) override;
+
+  /// Wakes a sleeping next() and makes it return false once the already-
+  /// queued records are drained. Thread-safe.
+  void stop();
+
+  std::size_t files_served() const { return files_served_; }
+  std::size_t rescans() const { return rescans_; }
+
+ private:
+  /// One pass over the directory; queues every record of every new file and
+  /// appends the files to the ledger. Returns the number of new files.
+  std::size_t rescan();
+  bool should_skip(const std::string& filename) const;
+
+  WatchDirConfig config_;
+  std::string ledger_path_;
+  std::set<std::string> served_;  ///< ledger contents: filenames already served
+  std::ofstream ledger_out_;
+  std::deque<jobs::StreamRecord> queue_;
+  std::size_t files_served_ = 0;
+  std::size_t rescans_ = 0;
+  std::size_t next_ordinal_ = 0;  ///< stream-wide record ordinal (not per-file)
+  /// Records served since the last flush marker: when the pickup backlog
+  /// drains, next() emits ONE flush record (StreamRecord::flush) so the
+  /// serve loop cuts its reorder buffer instead of stranding the last
+  /// file's tail until the next drop.
+  bool flush_armed_ = false;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace moldable::net

@@ -177,12 +177,26 @@ engine::StreamConfig StreamRecorder::instrument(engine::StreamConfig config) {
     if (!*os_) throw std::runtime_error("record: write failed on record body");
     if (prev_admit) prev_admit(inst);
   };
+  auto prev_flush = std::move(config.on_flush);
+  config.on_flush = [this, prev_flush = std::move(prev_flush)]() {
+    // Flush markers are part of the record sequence: replay must re-derive
+    // the same flush-driven window cuts, so the marker line goes into the
+    // body (and its digest) exactly where it happened.
+    static constexpr char kFlushLine[] = "moldable-flush v1\n";
+    engine::detail::fnv1a_mix(records_digest_, kFlushLine, sizeof(kFlushLine) - 1);
+    *os_ << kFlushLine;
+    if (!*os_) throw std::runtime_error("record: write failed on flush marker");
+    if (prev_flush) prev_flush();
+  };
   auto prev_served = std::move(config.on_served);
   config.on_served = [this, prev_served = std::move(prev_served)](
-                         std::size_t index, bool ok, double queue_s,
-                         double compute_s) {
+                         std::size_t index, std::uint64_t tag, bool ok,
+                         double queue_s, double compute_s) {
+    // The tag (a socket session id) is deliberately not recorded: replay is
+    // a single serial re-serve of the merged order, with no sessions left
+    // to route to — and tags never enter any digest or counter.
     latencies_.emplace_back(index, queue_s, compute_s);
-    if (prev_served) prev_served(index, ok, queue_s, compute_s);
+    if (prev_served) prev_served(index, tag, ok, queue_s, compute_s);
   };
   return config;
 }

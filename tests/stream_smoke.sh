@@ -37,6 +37,18 @@
 #            --threads 1 — batch_service --replay asserts the rolling
 #            digest and every deterministic counter (memo, cancelled,
 #            deadline misses) are bit-identical to the live session.
+#   listen_soak — the storm acceptance gate over the network path: four
+#            concurrent `traffic_gen --connect` clients (2600 arrivals
+#            each — >=10000 total) fire flash-crowd storms at one
+#            `batch_service --listen` server running the production
+#            configuration with --record. Every client must get exactly
+#            its own results back (traffic_gen exits nonzero otherwise),
+#            the server must complete all 4 sessions with 0 rejections and
+#            0 malformed records — and the recorded merged session must
+#            replay bit-exact on --threads 1, certifying that the socket
+#            merge layer adds no new determinism obligations. The server
+#            binds port 0 and publishes the kernel-chosen port through
+#            --port-file, so concurrent `ctest -j` runs cannot collide.
 set -eu
 
 bin=$1
@@ -148,8 +160,95 @@ storm)
     echo "stream_smoke (storm) OK: $arrivals arrivals; $dlive; $mlive; $clive; replay matched on 1 thread"
     exit 0
     ;;
+listen_soak)
+    need_traffic_gen
+    tmp=${TMPDIR:-/tmp}
+    record=$tmp/listen_soak_$$.rec
+    portfile=$tmp/listen_soak_$$.port
+    serverlog=$tmp/listen_soak_$$.log
+    server=
+    # SIGKILL, not SIGTERM: under --listen the server treats SIGTERM as
+    # "drain" (stop accepting, finish live sessions) — on a failure path
+    # with hung clients that would wait forever. The trap must reap.
+    trap 'if [ -n "${server:-}" ]; then kill -9 "$server" 2>/dev/null || true; fi; rm -f "$record" "$portfile" "$serverlog"' EXIT
+
+    # --listen-sessions 4 makes the server drain and exit after the four
+    # expected clients; port 0 + --port-file is the ctest -j-safe handshake.
+    "$bin" --listen 127.0.0.1:0 --port-file "$portfile" --listen-sessions 4 \
+           --threads 4 --race --portfolio exact,fptas,mrt \
+           --memo --memo-capacity 64 --deadline interactive=0.5 \
+           --window 16 --max-inflight 4 --record "$record" > "$serverlog" 2>&1 &
+    server=$!
+
+    i=0
+    while [ ! -s "$portfile" ]; do
+        if ! kill -0 "$server" 2>/dev/null; then
+            echo "stream_smoke (listen_soak): server exited before publishing its port:" >&2
+            cat "$serverlog" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "stream_smoke (listen_soak): server never published its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    port=$(cat "$portfile")
+
+    # Four concurrent storm clients, distinct seeds. The flash curve yields
+    # far more than 2600 arrivals over this horizon, so --max-arrivals pins
+    # each client to exactly 2600 records — 10400 total, deterministically.
+    # traffic_gen --connect exits nonzero unless it is admitted and receives
+    # exactly one result per arrival sent.
+    pids=
+    for seed in 7 8 9 10; do
+        "$traffic_gen" --curve flash --seed "$seed" --horizon 120 \
+                       --max-arrivals 2600 --dup-every 11 \
+                       --jobs-min 1 --jobs-cap 6 --machines 4 \
+                       --connect "127.0.0.1:$port" &
+        pids="$pids $!"
+    done
+    clients_ok=1
+    for pid in $pids; do
+        wait "$pid" || clients_ok=0
+    done
+    if [ "$clients_ok" -ne 1 ]; then
+        echo "stream_smoke (listen_soak): a storm client failed its round trip" >&2
+        cat "$serverlog" >&2
+        exit 1
+    fi
+    if ! wait "$server"; then
+        echo "stream_smoke (listen_soak): server exited nonzero:" >&2
+        cat "$serverlog" >&2
+        exit 1
+    fi
+    server=
+
+    if ! grep -q '^sessions: 4 completed, 0 rejected' "$serverlog"; then
+        echo "stream_smoke (listen_soak): expected 4 completed / 0 rejected sessions:" >&2
+        grep '^sessions:' "$serverlog" >&2 || cat "$serverlog" >&2
+        exit 1
+    fi
+    if ! grep -q '^stream: .* 10400 instance(s) (10400 solved, 0 failed, 0 malformed)' "$serverlog"; then
+        echo "stream_smoke (listen_soak): expected 10400 clean instances:" >&2
+        grep '^stream:' "$serverlog" >&2 || cat "$serverlog" >&2
+        exit 1
+    fi
+
+    # The acceptance gate: the merged 4-client session, whose interleaving
+    # real socket timing decided, must re-serve serially from the record
+    # file to the same rolling digest and every deterministic counter.
+    if ! "$bin" --replay "$record" --threads 1; then
+        echo "stream_smoke (listen_soak): replay diverged from the recorded live serve" >&2
+        exit 1
+    fi
+    dlive=$(grep '^rolling digest:' "$serverlog" || true)
+    echo "stream_smoke (listen_soak) OK: 4 sessions x 2600 arrivals; $dlive; replay matched on 1 thread"
+    exit 0
+    ;;
 *)
-    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, race_soak, or storm)" >&2
+    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, race_soak, storm, or listen_soak)" >&2
     exit 2
     ;;
 esac

@@ -194,6 +194,38 @@ TEST(Io, StreamReaderSplitsConcatenatedRecords) {
   EXPECT_FALSE(reader.next(rec));  // stays exhausted
 }
 
+TEST(Io, StreamReaderYieldsFlushMarkersWithoutConsumingOrdinals) {
+  const Instance a = make_instance(Family::kAmdahl, 4, 64, 1);
+  const Instance b = make_instance(Family::kPowerLaw, 4, 64, 2);
+  // One marker mid-body (terminates the record like a header would) and one
+  // between records — the two places a multiplexing source can plant them.
+  std::istringstream stream(to_text(a) + "moldable-flush v1\n" + to_text(b) +
+                            "  moldable-flush v1  \n");
+  InstanceStreamReader reader(stream);
+
+  StreamRecord rec;
+  ASSERT_TRUE(reader.next(rec));  // record a, cut short by the marker
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_FALSE(rec.flush);
+  EXPECT_EQ(rec.ordinal, 0u);
+  expect_equivalent(rec.instance, a);
+
+  ASSERT_TRUE(reader.next(rec));  // the marker itself, as its own record
+  EXPECT_TRUE(rec.flush);
+  EXPECT_FALSE(rec.ok);
+  EXPECT_TRUE(rec.error.empty());  // not an instance, but not an error either
+
+  ASSERT_TRUE(reader.next(rec));  // ordinals resume where they left off:
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.ordinal, 1u);  // flush consumed none
+  expect_equivalent(rec.instance, b);
+
+  ASSERT_TRUE(reader.next(rec));  // trailing marker, whitespace-tolerant
+  EXPECT_TRUE(rec.flush);
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_FALSE(reader.next(rec));  // stays exhausted
+}
+
 TEST(Io, StreamReaderIsolatesMalformedRecordsAndNamesAnonymousOnes) {
   std::istringstream stream(
       "stray garbage\n"

@@ -769,5 +769,228 @@ TEST(StreamRecordReplay, ReplayLatencyOverrideReproducesDeadlineMisses) {
   EXPECT_EQ(report.result.deadline_misses, 2u);
 }
 
+// ------------------------------------------------------- InstanceSource --
+// Regression tests for the multi-source refactor: the serve loop must be a
+// pure function of the record sequence an InstanceSource yields, whatever
+// produced it, and the bookkeeping the socket layer depends on — gap-free
+// stream-global indices, tags riding the reorder buffer — must hold even
+// for sources that end mid-record.
+
+/// The minimal InstanceSource: a canned record vector. What a socket
+/// session or watch-dir scan boils down to once the I/O is stripped away.
+class VectorSource : public InstanceSource {
+ public:
+  explicit VectorSource(std::vector<jobs::StreamRecord> records)
+      : records_(std::move(records)) {}
+  bool next(jobs::StreamRecord& record) override {
+    if (pos_ >= records_.size()) return false;
+    record = records_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<jobs::StreamRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+jobs::StreamRecord ok_record(Instance instance, std::uint64_t tag,
+                             std::size_t ordinal) {
+  jobs::StreamRecord record;
+  record.ok = true;
+  record.instance = std::move(instance);
+  record.tag = tag;
+  record.ordinal = ordinal;
+  return record;
+}
+
+jobs::StreamRecord bad_record(std::uint64_t tag, std::size_t ordinal) {
+  jobs::StreamRecord record;
+  record.ok = false;
+  record.error = "torn record (session died mid-write)";
+  record.tag = tag;
+  record.ordinal = ordinal;
+  return record;
+}
+
+TEST(StreamSolver, VectorSourceMatchesIstreamSource) {
+  // Same records, two transports: the canned source and the istream wrapper
+  // must produce identical serves — digest, windows, counters. The engine
+  // must not care where records come from.
+  const auto batch = small_batch(7);
+  StreamConfig config;
+  config.window = 3;
+  config.threads = 2;
+
+  std::vector<jobs::StreamRecord> records;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    records.push_back(ok_record(batch[i], 0, i));
+  VectorSource source(std::move(records));
+  const StreamResult from_vector = StreamSolver().run(source, config);
+  const StreamResult from_stream = run_stream(to_stream(batch), config);
+
+  EXPECT_EQ(from_vector.rolling_digest, from_stream.rolling_digest);
+  EXPECT_EQ(from_vector.windows, from_stream.windows);
+  EXPECT_EQ(from_vector.instances, from_stream.instances);
+  EXPECT_EQ(from_vector.solved, from_stream.solved);
+}
+
+TEST(StreamSolver, ServedIndicesStayGapFreeAcrossMalformedRecords) {
+  // A malformed record — including a socket session dying mid-record, which
+  // parses as a torn tail — must never consume a stream-global outcome
+  // index: downstream consumers (the recorder's latency table, the socket
+  // RESULT frames) key on a dense 0..N-1 index space.
+  const auto batch = small_batch(3);
+  std::vector<jobs::StreamRecord> records;
+  records.push_back(ok_record(batch[0], 7, 0));
+  records.push_back(bad_record(9, 1));  // session 9 disconnected mid-record
+  records.push_back(ok_record(batch[1], 7, 2));
+  records.push_back(bad_record(7, 3));
+  records.push_back(ok_record(batch[2], 8, 4));
+  VectorSource source(std::move(records));
+
+  StreamConfig config;
+  config.window = 2;
+  std::vector<std::size_t> served_indices;
+  config.on_served = [&](std::size_t index, std::uint64_t, bool ok, double, double) {
+    EXPECT_TRUE(ok);
+    served_indices.push_back(index);
+  };
+  std::vector<StreamError> errors;
+  const StreamResult r = StreamSolver().run(
+      source, config, {}, [&](const StreamError& e) { errors.push_back(e); });
+
+  EXPECT_EQ(r.instances, 3u);
+  EXPECT_EQ(r.malformed, 2u);
+  std::sort(served_indices.begin(), served_indices.end());
+  EXPECT_EQ(served_indices, (std::vector<std::size_t>{0, 1, 2}));  // no gaps
+  // The error callback still knows which session each torn record came from.
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].tag, 9u);
+  EXPECT_EQ(errors[1].tag, 7u);
+}
+
+TEST(StreamSolver, TagsFollowInstancesThroughReordering) {
+  // The reorder buffer sorts by (deadline, arrival) — tags must travel WITH
+  // their instances, not with buffer positions, or the socket server would
+  // route results to the wrong sessions exactly when reordering kicks in.
+  auto batch = small_batch(4);
+  const std::uint64_t tags[] = {11, 22, 33, 44};
+  std::vector<jobs::StreamRecord> records;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch[i].set_arrival(static_cast<double>(3 - i));  // arrivals 3,2,1,0
+    records.push_back(ok_record(batch[i], tags[i], i));
+  }
+  VectorSource source(std::move(records));
+
+  StreamConfig config;
+  config.window = 4;  // one window buffers all four -> full arrival re-sort
+  std::vector<std::uint64_t> served_tags;
+  config.on_served = [&](std::size_t index, std::uint64_t tag, bool, double, double) {
+    ASSERT_EQ(index, served_tags.size());  // outcome indices in served order
+    served_tags.push_back(tag);
+  };
+  const StreamResult r = StreamSolver().run(source, config);
+  EXPECT_EQ(r.instances, 4u);
+  // Served in arrival order (0,1,2,3) = the reverse of record order.
+  EXPECT_EQ(served_tags, (std::vector<std::uint64_t>{44, 33, 22, 11}));
+}
+
+TEST(StreamSolver, SourceEndingMidWindowDrainsClean) {
+  // A source that dries up partway through a window (the last socket client
+  // disconnecting) must drain the partial window, not stall or drop it.
+  const auto batch = small_batch(5);
+  std::vector<jobs::StreamRecord> records;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    records.push_back(ok_record(batch[i], 1, i));
+  VectorSource source(std::move(records));
+
+  StreamConfig config;
+  config.window = 3;
+  const StreamResult r = StreamSolver().run(source, config);
+  EXPECT_EQ(r.windows, 2u);  // 3 + 2 (end-of-source drain)
+  EXPECT_EQ(r.instances, 5u);
+  EXPECT_EQ(r.solved, 5u);
+}
+
+TEST(StreamSolver, FlushMarkerCutsTheReorderBufferEarly) {
+  // A flush marker (a multiplexing source's "every session has drained"
+  // signal) must cut the buffered backlog into windows NOW — otherwise a
+  // lone client's tail records would wait on future traffic that may never
+  // come. The cut changes window shapes but never the outcome digest.
+  const auto batch = small_batch(6);
+  std::string text;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i == 2) text += "moldable-flush v1\n";
+    text += jobs::to_text(batch[i]);
+  }
+
+  StreamConfig config;
+  config.window = 4;
+  std::size_t flushes = 0;
+  config.on_flush = [&] { ++flushes; };
+  const StreamResult with_marker = run_stream(text, config);
+  EXPECT_EQ(flushes, 1u);
+  EXPECT_EQ(with_marker.instances, 6u);
+  ASSERT_EQ(with_marker.window_stats.size(), 2u);
+  EXPECT_EQ(with_marker.window_stats[0].instances, 2u);  // cut at the marker
+  EXPECT_EQ(with_marker.window_stats[1].instances, 4u);
+
+  StreamConfig plain;
+  plain.window = 4;
+  const StreamResult without = run_stream(to_stream(batch), plain);
+  ASSERT_EQ(without.window_stats.size(), 2u);
+  EXPECT_EQ(without.window_stats[0].instances, 4u);  // capacity-driven cut
+  // Different cuts, same outcomes: the digest must not see the marker.
+  EXPECT_EQ(with_marker.rolling_digest, without.rolling_digest);
+}
+
+TEST(StreamSolver, EmptyBufferFlushMarkerIsANoOp) {
+  // An idle-period marker with nothing buffered must not produce an empty
+  // window (or worse, stall) — it is observable only through on_flush.
+  const auto batch = small_batch(2);
+  const std::string text = "moldable-flush v1\n" + to_stream(batch);
+  StreamConfig config;
+  config.window = 4;
+  std::size_t flushes = 0;
+  config.on_flush = [&] { ++flushes; };
+  const StreamResult r = run_stream(text, config);
+  EXPECT_EQ(flushes, 1u);
+  EXPECT_EQ(r.windows, 1u);
+  EXPECT_EQ(r.instances, 2u);
+  EXPECT_EQ(r.solved, 2u);
+}
+
+TEST(StreamRecordReplay, FlushDrivenWindowCutsSurviveReplay) {
+  // Window cuts must stay a pure function of (recorded stream, config): the
+  // recorder persists flush markers into the body, so a replay re-derives
+  // the same flush-driven cuts — and with them the same per-window memo
+  // tallies, which are cut-sensitive.
+  const auto batch = small_batch(4);
+  std::string text = jobs::to_text(batch[0]) + jobs::to_text(batch[1]);
+  text += "moldable-flush v1\n";
+  text += jobs::to_text(batch[2]) + jobs::to_text(batch[3]);
+  text += jobs::to_text(batch[0]);  // cross-window duplicate: memo traffic
+
+  StreamConfig config;
+  config.window = 4;
+  config.memo = true;
+  config.memo_capacity = 8;
+  const auto [record_text, live] = record_session(text, config);
+  ASSERT_EQ(live.windows, 2u);  // 2 (flush cut) + 3 (end-of-input drain)
+  EXPECT_NE(record_text.find("moldable-flush v1"), std::string::npos)
+      << "the marker must be persisted in the record body";
+  EXPECT_GT(live.memo_hits, 0u);
+
+  std::istringstream file(record_text);
+  const traffic::ReplayFile loaded = traffic::load_record(file);
+  const traffic::ReplayReport report = traffic::replay(loaded, 1);
+  EXPECT_TRUE(report.ok) << (report.mismatches.empty() ? "?" : report.mismatches[0]);
+  EXPECT_EQ(report.result.windows, live.windows);
+  ASSERT_EQ(report.result.window_stats.size(), 2u);
+  EXPECT_EQ(report.result.window_stats[0].instances, 2u);  // same cut on replay
+  EXPECT_EQ(report.result.memo_hits, live.memo_hits);
+  EXPECT_EQ(report.result.memo_misses, live.memo_misses);
+}
+
 }  // namespace
 }  // namespace moldable::engine
