@@ -6,16 +6,58 @@
 // binary orders of magnitude; the quality column (makespan vs the certified
 // lower bound) stays below 1+eps against OPT, i.e. below 2(1+eps) against
 // the bound, and is typically near 1.
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "bench/pinned_harness.hpp"
 #include "src/core/fptas.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/sched/validator.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
 
-int main() {
+namespace {
+
+/// The pinned shapes behind BENCH_fptas.json (perf-regression gate): one
+/// huge-m solve and one wide-n solve, both past the Theorem 2 threshold.
+std::vector<moldable::bench::PinnedResult> run_pinned() {
   using namespace moldable;
+  constexpr int kReps = 7;
+  std::vector<moldable::bench::PinnedResult> pinned;
+  volatile double sink = 0;
+  {
+    const jobs::Instance inst =
+        jobs::make_instance(jobs::Family::kMixed, 64, procs_t{1} << 30, 11);
+    pinned.push_back({"fptas_mixed_n64_m2pow30", moldable::bench::best_of_ms(kReps, [&] {
+                        sink = core::fptas_schedule(inst, 0.25).lower_bound;
+                      })});
+  }
+  {
+    const auto m = static_cast<procs_t>(core::fptas_machine_threshold(256, 0.25) * 2);
+    const jobs::Instance inst = jobs::make_instance(jobs::Family::kAmdahl, 256, m, 9);
+    pinned.push_back({"fptas_amdahl_n256_2xthresh",
+                      moldable::bench::best_of_ms(kReps, [&] {
+                        sink = core::fptas_schedule(inst, 0.25).lower_bound;
+                      })});
+  }
+  (void)sink;
+  return pinned;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace moldable;
+
+  const auto pinned = run_pinned();
+  for (const auto& p : pinned) std::printf("%-28s %10.4f ms\n", p.name.c_str(), p.ms);
+  if (moldable::bench::write_pinned_json("BENCH_fptas.json", "fptas", "", pinned))
+    std::printf("wrote BENCH_fptas.json\n\n");
+  // The perf gate only needs the pinned JSON; the sweeps below are the
+  // human-facing shape reproduction.
+  if (argc > 1 && std::strcmp(argv[1], "--pinned-only") == 0) return 0;
+
   std::cout << "=== Theorem 2 reproduction: FPTAS for large machine counts ===\n\n";
 
   {

@@ -1,8 +1,18 @@
 // Knapsack-engine ablation (Section 4.1 vs 4.2 vs 4.3): the dense O(nC) DP
 // against the compressible solver (Algorithm 2) as capacity grows — the
 // crossover the paper's complexity claims predict.
+//
+// Before the google-benchmark loops run, a pinned-shape section times the
+// hot-path kernels (dense DP row update, dense solve with reconstruction,
+// Pareto merge, pair-list solve) on fixed sizes/seeds and emits
+// BENCH_knapsack.json for the perf-regression gate (bench/check_regression
+// against bench/baselines/BENCH_knapsack.json). Shapes are pinned: changing
+// them invalidates the committed baseline, so re-record it in the same PR.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/pinned_harness.hpp"
 #include "src/knapsack/compressible.hpp"
 #include "src/knapsack/dense_dp.hpp"
 #include "src/knapsack/pairlist.hpp"
@@ -79,6 +89,51 @@ void BM_MultiCapacityOnePass(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiCapacityOnePass)->Arg(4)->Arg(16)->Arg(64);
 
+/// The pinned shapes behind BENCH_knapsack.json. Volatile sinks keep the
+/// kernels from being optimized away without perturbing their code.
+std::vector<moldable::bench::PinnedResult> run_pinned() {
+  constexpr int kReps = 7;
+  std::vector<moldable::bench::PinnedResult> pinned;
+  volatile double sink = 0;
+
+  {
+    const procs_t cap = 1 << 16;
+    const auto items = make_items(256, cap, 3);
+    pinned.push_back({"dense_row_n256_c65536", moldable::bench::best_of_ms(kReps, [&] {
+                        sink = knapsack::dense_profit_row(items, cap).back();
+                      })});
+    pinned.push_back({"dense_dp_n256_c65536", moldable::bench::best_of_ms(kReps, [&] {
+                        sink = knapsack::solve_dense(items, cap).profit;
+                      })});
+  }
+  {
+    const procs_t cap = 1 << 12;
+    const auto items = make_items(256, cap, 3);
+    pinned.push_back({"pareto_merge_n256_c4096", moldable::bench::best_of_ms(kReps, [&] {
+                        sink = knapsack::exact_pareto(items, static_cast<double>(cap))
+                                   .back()
+                                   .profit;
+                      })});
+    pinned.push_back({"pairlist_solve_n256_c4096",
+                      moldable::bench::best_of_ms(kReps, [&] {
+                        sink = knapsack::solve_pairlist(items, static_cast<double>(cap))
+                                   .profit;
+                      })});
+  }
+  (void)sink;
+  return pinned;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto pinned = run_pinned();
+  for (const auto& p : pinned) std::printf("%-28s %10.4f ms\n", p.name.c_str(), p.ms);
+  if (moldable::bench::write_pinned_json("BENCH_knapsack.json", "knapsack", "", pinned))
+    std::printf("wrote BENCH_knapsack.json\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/engine/portfolio.hpp"
@@ -122,12 +124,32 @@ BENCHMARK(BM_PortfolioRaced)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   // Head-to-head latency-tail comparison + determinism cross-check, emitted
-  // as BENCH_race.json before the google-benchmark loops run.
+  // as BENCH_race.json before the google-benchmark loops run. Each mode runs
+  // kReps times: the best (minimum-total) run is reported and doubles as the
+  // pinned shape for the perf-regression gate, and every repetition's digest
+  // is cross-checked — a racing engine whose digest wobbles across reps is a
+  // determinism bug, caught here before it reaches the serving gates.
+  constexpr int kReps = 5;
   const auto family = make_family();
   std::vector<ModeReport> reports;
-  reports.push_back(run_mode(family, "sequential", false, 0));
-  reports.push_back(run_mode(family, "race-w2", true, 2));
-  reports.push_back(run_mode(family, "race-full", true, 0));
+  for (const auto& [name, race, width] :
+       {std::tuple<const char*, bool, unsigned>{"sequential", false, 0},
+        {"race-w2", true, 2},
+        {"race-full", true, 0}}) {
+    ModeReport best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ModeReport r = run_mode(family, name, race, width);
+      if (rep > 0 && r.digest != best.digest) {
+        std::fprintf(stderr,
+                     "bench_race: DETERMINISM VIOLATION: %s digest differs "
+                     "across repetitions\n",
+                     name);
+        return 1;
+      }
+      if (rep == 0 || r.total_s < best.total_s) best = std::move(r);
+    }
+    reports.push_back(std::move(best));
+  }
 
   for (const ModeReport& r : reports) {
     if (r.digest != reports.front().digest) {
@@ -154,6 +176,13 @@ int main(int argc, char** argv) {
                    r.name.c_str(), r.p50_ms, r.p99_ms, r.max_ms, r.total_s,
                    r.cancelled, i + 1 < reports.size() ? "," : "");
     }
+    // Pinned shapes for bench/check_regression: the best-of-reps mode
+    // totals, in the same {"name", "ms"} schema as the other benches.
+    std::fprintf(json, "  ],\n  \"pinned\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i)
+      std::fprintf(json, "    {\"name\": \"%s_total_40inst\", \"ms\": %.4f}%s\n",
+                   reports[i].name.c_str(), reports[i].total_s * 1e3,
+                   i + 1 < reports.size() ? "," : "");
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
   }

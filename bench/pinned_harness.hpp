@@ -1,0 +1,63 @@
+// Shared pinned-shape timing harness for the perf-regression gate.
+//
+// Each bench binary measures a fixed list of (name, closure) kernels on
+// pinned shapes — fixed sizes, fixed seeds, no flags — and emits them as a
+// `"pinned": [{"name": ..., "ms": ...}]` array in its BENCH_*.json. The
+// committed baselines under bench/baselines/ freeze those numbers per
+// machine; bench/check_regression compares a fresh run against them under a
+// ratio guard, so a slowdown of any pinned kernel fails CI like a test.
+//
+// Methodology: every kernel is timed `reps` times and the MINIMUM wall time
+// is reported. Best-of-R is the variance-robust estimator for a
+// deterministic kernel on a noisy machine — the minimum is the run least
+// disturbed by scheduling/cache interference, and it converges as R grows
+// while mean/median keep the noise. The regression ratio (default 1.35x)
+// leaves headroom for what best-of-R cannot remove.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/timer.hpp"
+
+namespace moldable::bench {
+
+struct PinnedResult {
+  std::string name;
+  double ms = 0;
+};
+
+/// Minimum wall-clock milliseconds of `fn` over `reps` runs.
+inline double best_of_ms(int reps, const std::function<void()>& fn) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    const double ms = timer.millis();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best < 0 ? 0 : best;
+}
+
+/// Writes `{"bench": <bench>, "pinned": [...]}` to `path`; `extra` (may be
+/// empty) is spliced verbatim as additional top-level members and must end
+/// with ",\n" when non-empty. Returns false when the file cannot be opened.
+inline bool write_pinned_json(const char* path, const char* bench_name,
+                              const std::string& extra,
+                              const std::vector<PinnedResult>& pinned) {
+  std::FILE* json = std::fopen(path, "w");
+  if (!json) return false;
+  std::fprintf(json, "{\n  \"bench\": \"%s\",\n%s  \"pinned\": [\n", bench_name,
+               extra.c_str());
+  for (std::size_t i = 0; i < pinned.size(); ++i)
+    std::fprintf(json, "    {\"name\": \"%s\", \"ms\": %.4f}%s\n",
+                 pinned[i].name.c_str(), pinned[i].ms,
+                 i + 1 < pinned.size() ? "," : "");
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  return true;
+}
+
+}  // namespace moldable::bench

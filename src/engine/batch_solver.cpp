@@ -124,7 +124,12 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
         InstanceOutcome& out = result.outcomes[i];
         util::Timer item_timer;
         try {
-          const core::ScheduleResult r = solver(batch[i], solver_config);
+          // Each worker reuses its thread's warm scratch arena across the
+          // whole shard — kernel scratch stops hitting the heap after the
+          // first few solves. Per-thread, so shards never share one.
+          SolverConfig worker_config = solver_config;
+          worker_config.arena = &util::thread_scratch_arena();
+          const core::ScheduleResult r = solver(batch[i], worker_config);
           out.ok = true;
           out.algorithm =
               requested_auto ? core::algorithm_name(r.used) : config.algorithm;

@@ -211,6 +211,9 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
       SolverConfig solver_config;
       solver_config.eps = config.eps;
       solver_config.cancel = token;
+      // Warm per-thread scratch: race lanes and shard workers each get
+      // their own arena, so reuse is safe under any interleaving.
+      solver_config.arena = &util::thread_scratch_arena();
       const core::ScheduleResult r = (*solvers[v])(batch[i], solver_config);
       const sched::ValidationResult check = sched::validate(r.schedule, batch[i]);
       if (!check.ok)

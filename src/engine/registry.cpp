@@ -12,9 +12,11 @@ namespace {
 
 SolverFn enum_solver(core::Algorithm algo) {
   return [algo](const jobs::Instance& instance, const SolverConfig& config) {
-    // The scope makes config.cancel visible to every long loop below this
-    // frame via util::poll_cancellation() — no core signature changes.
+    // The scopes make config.cancel and config.arena visible to every hot
+    // loop below this frame (util::poll_cancellation, util::scratch_arena)
+    // — no core signature changes.
     util::CancelScope scope(config.cancel);
+    util::ArenaScope arena_scope(config.arena);
     return core::schedule_moldable(instance, config.eps, algo);
   };
 }
@@ -22,6 +24,7 @@ SolverFn enum_solver(core::Algorithm algo) {
 core::ScheduleResult solve_exact_wrapped(const jobs::Instance& instance,
                                          const SolverConfig& config) {
   util::CancelScope scope(config.cancel);
+  util::ArenaScope arena_scope(config.arena);
   const auto exact = core::solve_exact(instance);  // throws over the hard caps
   if (!exact)
     throw std::runtime_error("exact: node budget exceeded for instance '" +
@@ -46,6 +49,7 @@ AlgorithmRegistry AlgorithmRegistry::with_builtins() {
     r.add(core::algorithm_name(a), enum_solver(a));
   r.add("ptas", [](const jobs::Instance& instance, const SolverConfig& config) {
     util::CancelScope scope(config.cancel);
+    util::ArenaScope arena_scope(config.arena);
     return core::ptas_schedule(instance, config.eps);
   });
   r.add("exact", solve_exact_wrapped);

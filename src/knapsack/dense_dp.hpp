@@ -7,6 +7,16 @@
 // paper's compressible/bounded engines are benchmarked against. The size of
 // the decision matrix is guarded: this solver is *meant* to be Theta(n*m)
 // and refuses inputs where that was clearly not intended.
+//
+// Implementation: the row update is restructured into descending chunks of
+// at most `size` cells — inside a chunk the reads trail the writes by the
+// full item size, so the cells are dependence-free and run through SIMD
+// kernels (SSE2/AVX2/AVX-512, picked once at run time) while producing
+// *bitwise identical* results to the scalar descending loop; decision bits
+// live in one flat row-major bitmap carved from the thread's ScratchArena.
+// The scalar originals are retained in knapsack/reference.hpp and the
+// equivalence is property-tested (test_kernel_equivalence) and gated by the
+// pinned benchmarks in bench/bench_knapsack.cpp.
 #pragma once
 
 #include <vector>

@@ -1,79 +1,171 @@
 #include "src/knapsack/pairlist.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "src/util/arena.hpp"
 #include "src/util/cancel.hpp"
 
 namespace moldable::knapsack {
 
 namespace {
 
+// The Pareto sweep runs entirely on arena scratch: the frontier lives in a
+// ping-pong pair of buffers that swap roles every merge step, instead of
+// the pre-optimization allocate-and-return std::vector per item. Results
+// are copied out to heap vectors only at the public API boundary, so no
+// returned object aliases arena memory. Bitwise identity with the retained
+// reference (knapsack/reference.cpp) is property-tested: the merge below
+// applies the exact same compare/tie rules, only with the running "back of
+// the output" carried in registers and the capacity cut hoisted out of the
+// per-point push.
+
+/// Growable array of ParetoPoint carved from a ScratchArena. Growth
+/// allocates a fresh doubled block (the old one is reclaimed by the frame
+/// rewind), so pushes stay amortized O(1) with zero heap traffic.
+struct ArenaList {
+  ParetoPoint* data = nullptr;
+  std::size_t len = 0;
+  std::size_t cap = 0;
+
+  void ensure(util::ScratchArena& arena, std::size_t want) {
+    if (want <= cap) return;
+    std::size_t ncap = cap ? cap * 2 : 64;
+    while (ncap < want) ncap *= 2;
+    ParetoPoint* nd = arena.alloc<ParetoPoint>(ncap);
+    if (len) std::memcpy(nd, data, len * sizeof(ParetoPoint));
+    data = nd;
+    cap = ncap;
+  }
+};
+
 /// Merges `base` with `base (+) item` under a capacity, pruning dominated
-/// points. Both inputs and the output are ascending in size and profit.
-std::vector<ParetoPoint> merge_step(const std::vector<ParetoPoint>& base, const Item& item,
-                                    double capacity) {
-  std::vector<ParetoPoint> out;
-  out.reserve(base.size() * 2);
-  std::size_t a = 0;  // index into base
-  std::size_t b = 0;  // index into shifted copy
-  auto shifted = [&](std::size_t i) {
-    return ParetoPoint{base[i].size + static_cast<double>(item.size),
-                       base[i].profit + item.profit};
-  };
-  auto push = [&](const ParetoPoint& p) {
-    if (p.size > capacity * (1 + kRelTol)) return;
-    if (!out.empty() && p.profit <= out.back().profit) return;  // dominated
-    if (!out.empty() && p.size == out.back().size) {
-      out.back().profit = p.profit;  // same size, better profit
-      return;
+/// points; writes into `out` (sized for 2n+1 by the caller) and returns the
+/// new length. Both inputs and the output ascend strictly in size and
+/// profit, which the merge exploits three ways the per-point push could
+/// not: the capacity cut on the shifted stream is a suffix found once; the
+/// dominance checks compare against a register-carried last point instead
+/// of re-loading out.back(); and once the shifted stream is exhausted the
+/// base tail copies straight through (its first survivor is the only point
+/// that still needs the full rules).
+std::size_t merge_step(const ParetoPoint* __restrict__ base, std::size_t n,
+                       const Item& item, double cap_tol,
+                       ParetoPoint* __restrict__ out) {
+  const double isz = item.size;
+  const double ip = item.profit;
+  std::size_t b_end = n;  // shifted points at or past this index exceed cap
+  while (b_end > 0 && base[b_end - 1].size + isz > cap_tol) --b_end;
+
+  std::size_t m = 0;
+  double last_size = -1.0;    // sentinel: sizes/profits are >= 0
+  double last_profit = -1.0;
+  std::size_t a = 0, b = 0;
+  while (a < n && b < b_end) {
+    ParetoPoint p;
+    if (base[a].size <= base[b].size + isz) {
+      p = base[a];
+      ++a;
+    } else {
+      p = {base[b].size + isz, base[b].profit + ip};
+      ++b;
     }
-    out.push_back(p);
-  };
-  while (a < base.size() || b < base.size()) {
-    const bool take_a = b >= base.size() ||
-                        (a < base.size() && base[a].size <= shifted(b).size);
-    if (take_a)
-      push(base[a++]);
-    else
-      push(shifted(b++));
+    if (p.profit <= last_profit) continue;  // dominated
+    if (p.size == last_size) {
+      out[m - 1].profit = p.profit;  // same size, better profit
+      last_profit = p.profit;
+      continue;
+    }
+    out[m] = p;
+    ++m;
+    last_size = p.size;
+    last_profit = p.profit;
   }
-  return out;
+  for (; b < b_end; ++b) {
+    const ParetoPoint p{base[b].size + isz, base[b].profit + ip};
+    if (p.profit <= last_profit) continue;
+    if (p.size == last_size) {
+      out[m - 1].profit = p.profit;
+      last_profit = p.profit;
+      continue;
+    }
+    out[m] = p;
+    ++m;
+    last_size = p.size;
+    last_profit = p.profit;
+  }
+  if (a < n) {
+    for (; a < n; ++a) {
+      const ParetoPoint p = base[a];
+      if (p.profit <= last_profit) continue;
+      if (p.size == last_size) {
+        out[m - 1].profit = p.profit;
+      } else {
+        out[m] = p;
+        ++m;
+      }
+      ++a;
+      break;
+    }
+    // Rest of the base tail: strictly ascending in both coordinates and
+    // under cap, so no rule can fire again.
+    for (; a < n; ++a) {
+      out[m] = base[a];
+      ++m;
+    }
+  }
+  return m;
 }
 
-}  // namespace
-
-std::vector<ParetoPoint> exact_pareto(const std::vector<Item>& items, double capacity) {
-  std::vector<ParetoPoint> list{{0.0, 0.0}};
-  for (const Item& it : items) {
+/// Pareto frontier of items[lo, hi) built on arena scratch; the result (in
+/// `cur`) is valid until the caller's frame rewinds.
+void pareto_range(const std::vector<Item>& items, std::size_t lo, std::size_t hi,
+                  double capacity, util::ScratchArena& arena, ArenaList& cur,
+                  ArenaList& next) {
+  const double cap_tol = capacity * (1 + kRelTol);
+  cur.ensure(arena, 1);
+  cur.data[0] = {0.0, 0.0};
+  cur.len = 1;
+  for (std::size_t i = lo; i < hi; ++i) {
     util::poll_cancellation();  // racing: stop between Pareto merge rows
-    list = merge_step(list, it, capacity);
+    next.ensure(arena, 2 * cur.len + 1);
+    next.len = merge_step(cur.data, cur.len, items[i], cap_tol, next.data);
+    std::swap(cur, next);
   }
-  return list;
 }
 
-namespace {
-
-double lookup(const std::vector<ParetoPoint>& list, double capacity) {
+double lookup(const ParetoPoint* list, std::size_t len, double capacity) {
   // Largest size <= capacity; lists start at (0,0) so a hit always exists
   // for capacity >= 0.
   double best = 0;
-  auto it = std::upper_bound(list.begin(), list.end(), capacity * (1 + kRelTol),
-                             [](double c, const ParetoPoint& p) { return c < p.size; });
-  if (it != list.begin()) best = std::prev(it)->profit;
+  const ParetoPoint* it =
+      std::upper_bound(list, list + len, capacity * (1 + kRelTol),
+                       [](double c, const ParetoPoint& p) { return c < p.size; });
+  if (it != list) best = std::prev(it)->profit;
   return best;
 }
 
 }  // namespace
 
+std::vector<ParetoPoint> exact_pareto(const std::vector<Item>& items, double capacity) {
+  util::ScratchArena& arena = util::scratch_arena();
+  util::ScratchArena::Frame frame(arena);
+  ArenaList cur, next;
+  pareto_range(items, 0, items.size(), capacity, arena, cur, next);
+  return std::vector<ParetoPoint>(cur.data, cur.data + cur.len);
+}
+
 std::vector<double> profits_for_capacities(const std::vector<Item>& items,
                                            const std::vector<double>& capacities) {
   double maxc = 0;
   for (double c : capacities) maxc = std::max(maxc, c);
-  const auto list = exact_pareto(items, maxc);
+  util::ScratchArena& arena = util::scratch_arena();
+  util::ScratchArena::Frame frame(arena);
+  ArenaList list, tmp;
+  pareto_range(items, 0, items.size(), maxc, arena, list, tmp);
   std::vector<double> out;
   out.reserve(capacities.size());
-  for (double c : capacities) out.push_back(lookup(list, c));
+  for (double c : capacities) out.push_back(lookup(list.data, list.len, c));
   return out;
 }
 
@@ -81,9 +173,14 @@ namespace {
 
 /// Divide-and-conquer reconstruction: find the best split of `capacity`
 /// between the two halves from their Pareto lists, then recurse. Profit is
-/// identical to the full DP; memory stays O(list length).
+/// identical to the full DP; memory stays O(list length). The halves are
+/// (lo, mid, hi) index ranges into the original items — no per-level item
+/// copies — and both half-frontiers live under one arena frame that is
+/// rewound before recursing, so the transient footprint is the deepest
+/// path, not the whole tree.
 void reconstruct_rec(const std::vector<Item>& items, std::size_t lo, std::size_t hi,
-                     double capacity, std::vector<std::size_t>& chosen) {
+                     double capacity, std::vector<std::size_t>& chosen,
+                     util::ScratchArena& arena) {
   if (lo >= hi || capacity < 0) return;
   if (hi - lo == 1) {
     const Item& it = items[lo];
@@ -92,42 +189,48 @@ void reconstruct_rec(const std::vector<Item>& items, std::size_t lo, std::size_t
     return;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
-  const std::vector<Item> left(items.begin() + static_cast<std::ptrdiff_t>(lo),
-                               items.begin() + static_cast<std::ptrdiff_t>(mid));
-  const std::vector<Item> right(items.begin() + static_cast<std::ptrdiff_t>(mid),
-                                items.begin() + static_cast<std::ptrdiff_t>(hi));
-  const auto l1 = exact_pareto(left, capacity);
-  const auto l2 = exact_pareto(right, capacity);
-
-  // Two-pointer sweep: as the left size grows, the best right point can
-  // only move left. Both lists are ascending in size and profit.
-  double best = -1;
   double best_s1 = 0, best_s2 = 0;
-  std::size_t j = l2.size();  // exclusive upper bound into l2
-  for (const ParetoPoint& p1 : l1) {
-    const double room = capacity - p1.size;
-    while (j > 0 && l2[j - 1].size > room * (1 + kRelTol)) --j;
-    if (j == 0) break;
-    const double cand = p1.profit + l2[j - 1].profit;
-    if (cand > best) {
-      best = cand;
-      best_s1 = p1.size;
-      best_s2 = l2[j - 1].size;
+  {
+    util::ScratchArena::Frame frame(arena);
+    ArenaList l1, l2, tmp;
+    pareto_range(items, lo, mid, capacity, arena, l1, tmp);
+    pareto_range(items, mid, hi, capacity, arena, l2, tmp);
+
+    // Two-pointer sweep: as the left size grows, the best right point can
+    // only move left. Both lists are ascending in size and profit.
+    double best = -1;
+    std::size_t j = l2.len;  // exclusive upper bound into l2
+    for (std::size_t i = 0; i < l1.len; ++i) {
+      const ParetoPoint& p1 = l1.data[i];
+      const double room = capacity - p1.size;
+      while (j > 0 && l2.data[j - 1].size > room * (1 + kRelTol)) --j;
+      if (j == 0) break;
+      const double cand = p1.profit + l2.data[j - 1].profit;
+      if (cand > best) {
+        best = cand;
+        best_s1 = p1.size;
+        best_s2 = l2.data[j - 1].size;
+      }
     }
+    check_invariant(best >= 0, "pairlist reconstruction: no feasible split");
   }
-  check_invariant(best >= 0, "pairlist reconstruction: no feasible split");
-  reconstruct_rec(items, lo, mid, best_s1, chosen);
-  reconstruct_rec(items, mid, hi, best_s2, chosen);
+  reconstruct_rec(items, lo, mid, best_s1, chosen, arena);
+  reconstruct_rec(items, mid, hi, best_s2, chosen, arena);
 }
 
 }  // namespace
 
 Solution solve_pairlist(const std::vector<Item>& items, double capacity) {
   if (capacity < 0) throw std::invalid_argument("solve_pairlist: negative capacity");
+  util::ScratchArena& arena = util::scratch_arena();
   Solution sol;
-  const auto list = exact_pareto(items, capacity);
-  sol.profit = list.back().profit;
-  reconstruct_rec(items, 0, items.size(), capacity, sol.chosen);
+  {
+    util::ScratchArena::Frame frame(arena);
+    ArenaList list, tmp;
+    pareto_range(items, 0, items.size(), capacity, arena, list, tmp);
+    sol.profit = list.data[list.len - 1].profit;
+  }
+  reconstruct_rec(items, 0, items.size(), capacity, sol.chosen, arena);
   // The recursion re-derives the same optimum; double-check the arithmetic.
   double check = 0;
   for (std::size_t i : sol.chosen) check += items[i].profit;

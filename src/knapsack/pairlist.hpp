@@ -9,12 +9,19 @@
 //
 // Reconstruction strategies:
 //  * exact lists use divide-and-conquer (Hirschberg-style): O(n*C*log n)
-//    time, O(C) transient memory, no stored decisions;
+//    time, O(C) transient memory, no stored decisions; the recursion works
+//    on (lo, hi) index ranges into the original item vector — no per-level
+//    half copies — and every transient frontier lives on the thread's
+//    ScratchArena (ping-pong merge buffers, rewound per recursion level);
 //  * normalized lists use an arena of parent pointers: the sequential
 //    snapping semantics of the paper are preserved exactly, at the cost of
 //    memory proportional to the number of undominated pairs ever created
 //    (small in the regimes where normalization is worthwhile — that is the
 //    point of the grid).
+//
+// The merge kernel and its scratch discipline are perf-gated (pinned shapes
+// in bench/bench_knapsack.cpp) and property-tested bitwise-identical to the
+// retained scalar reference in knapsack/reference.hpp.
 #pragma once
 
 #include <cstdint>
