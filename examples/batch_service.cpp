@@ -42,6 +42,19 @@
 // instances jump the reorder buffer, and late completions are counted per
 // class, per window, and stream-wide.
 //
+// --shed closes the control loop on those deadlines: at admission, each
+// deadline-class instance's certified lower bound (the Ludwig–Tiwari
+// estimator of src/core) is compared against its deadline budget, and an
+// instance that provably cannot finish in time is refused with a
+// certificate-backed shed outcome — counted per class and stream-wide,
+// surfaced to socket clients as a per-record "shed ..." REJECT frame, and
+// mixed into the rolling digest (the shed set is part of the determinism
+// contract and must replay bit-exact). Admitted-but-late instances race
+// only the historically cheapest variant (down-shift). --adapt reorders
+// each portfolio race from a per-SLA-class prior table learned from
+// win/cancel tallies in the serial finalize pass — wall-clock only; the
+// winner and the digest are unchanged by construction.
+//
 // Latency columns split per-instance time into queue (batch submission ->
 // shard pickup, steady clock) and compute (pure solve) so percentiles stay
 // meaningful when worker threads oversubscribe the machine.
@@ -132,6 +145,8 @@ struct Options {
   std::size_t window_history = 0;  // serve: retained window stats/errors; 0 = all
   bool raw_samples = false;        // serve: exact per-class percentiles
   std::map<std::string, double> deadlines;  // serve: --deadline CLASS=SECONDS
+  bool shed = false;   // serve: certificate-backed admission shedding
+  bool adapt = false;  // serve: adaptive variant priors reorder race lanes
   TieBreak tie_break = TieBreak::kWallTime;
   bool race = false;           // portfolio: overlap variants per instance
   unsigned race_width = 0;     // lanes per raced instance; 0 = one per variant
@@ -211,6 +226,15 @@ void usage(const char* argv0) {
             << "                  misses (repeatable; C 'default' = unlabelled)\n"
             << "  --raw-samples   serve: exact per-class percentiles from raw\n"
             << "                  samples instead of bounded sketches\n"
+            << "  --shed          serve: refuse instances whose certified lower\n"
+            << "                  bound proves their class deadline unmeetable\n"
+            << "                  (needs --deadline; shed decisions are part of\n"
+            << "                  the digest and replay bit-exact); admitted-but-\n"
+            << "                  late instances race only the cheapest variant\n"
+            << "  --adapt         serve: reorder each portfolio race from per-\n"
+            << "                  class priors learned from win/cancel tallies\n"
+            << "                  (needs --portfolio; wall-clock only — winners\n"
+            << "                  and digests are unchanged)\n"
             << "  --eps E         approximation parameter in (0,1] (default 0.1)\n"
             << "  --threads T     worker threads, 0 = hardware (default 0)\n"
             << "  --seed S        base RNG seed for synthetic batches (default 42)\n"
@@ -302,6 +326,8 @@ Options parse(int argc, char** argv) {
     }
     else if (arg == "--window-history") { opt.window_history = std::stoull(value()); opt.serve_only_set = true; }
     else if (arg == "--raw-samples") { opt.raw_samples = true; opt.serve_only_set = true; }
+    else if (arg == "--shed") { opt.shed = true; opt.serve_only_set = true; }
+    else if (arg == "--adapt") { opt.adapt = true; opt.serve_only_set = true; }
     else if (arg == "--deadline") {
       const std::string spec = value();
       const std::size_t eq = spec.find('=');
@@ -545,6 +571,8 @@ StreamConfig make_stream_config(const Options& opt) {
   config.window_history = opt.window_history;
   config.raw_samples = opt.raw_samples;
   config.class_deadlines = opt.deadlines;
+  config.shed = opt.shed;
+  config.adapt = opt.adapt;
   config.tie_break = opt.tie_break;
   config.race = opt.race;
   config.race_width = opt.race_width;
@@ -564,6 +592,8 @@ int run_serve(const Options& opt) {
       if (w.memo_evictions != 0) std::cout << " (-" << w.memo_evictions << ")";
     }
     if (!opt.deadlines.empty()) std::cout << ", " << w.deadline_misses << " late";
+    if (opt.shed && w.downshifted != 0)
+      std::cout << ", " << w.downshifted << " down-shifted";
     std::cout << ", rolling digest " << fmt_digest(w.rolling_digest) << "\n";
   };
   const auto on_error = [](const moldable::engine::StreamError& e) {
@@ -634,6 +664,20 @@ int run_serve(const Options& opt) {
       if (prev) prev(index, tag, ok, queue_seconds, compute_seconds);
       raw_server->publish(index, tag, ok, queue_seconds, compute_seconds);
     };
+    // Shed records route back the same way, as per-record REJECT frames with
+    // the certificate spelled out in the reason text (framing.hpp grammar).
+    auto prev_shed = serve_config.on_shed;
+    serve_config.on_shed = [raw_server, prev_shed](
+                               std::size_t index, std::uint64_t tag,
+                               const moldable::engine::ShedOutcome& shed) {
+      if (prev_shed) prev_shed(index, tag, shed);
+      const std::string reason =
+          "shed index=" + std::to_string(index) + " class=" +
+          (shed.sla_class.empty() ? std::string("default") : shed.sla_class) +
+          " omega=" + moldable::util::fmt(shed.omega) +
+          " budget=" + moldable::util::fmt(shed.budget);
+      raw_server->publish_shed(index, tag, reason);
+    };
   }
 
   StreamResult result;
@@ -671,12 +715,15 @@ int run_serve(const Options& opt) {
     for (const auto& s : server->session_counters()) {
       std::cout << "session " << s.id << ": " << s.records << " record(s), "
                 << s.malformed << " malformed, " << s.results << " result(s) ("
-                << s.solved << " solved, " << s.failed << " failed)"
-                << (s.write_failed ? " [client vanished]" : "") << "\n";
+                << s.solved << " solved, " << s.failed << " failed)";
+      if (s.shed != 0) std::cout << ", " << s.shed << " shed";
+      std::cout << (s.write_failed ? " [client vanished]" : "") << "\n";
     }
     const moldable::net::ServerCounters totals = server->counters();
     std::cout << "sessions: " << totals.accepted << " completed, " << totals.rejected
-              << " rejected (cap " << opt.max_sessions << ")\n";
+              << " rejected (cap " << opt.max_sessions << ")";
+    if (totals.shed != 0) std::cout << ", " << totals.shed << " record(s) shed";
+    std::cout << "\n";
   }
   if (watcher)
     std::cout << "watch: " << watcher->files_served() << " file(s) served over "
@@ -703,15 +750,31 @@ int run_serve(const Options& opt) {
   if (!opt.deadlines.empty())
     std::cout << "deadlines: " << result.deadline_misses
               << " miss(es) across all deadline classes\n";
+  if (opt.shed || opt.adapt) {
+    // Both counters are digest-covered determinism obligations — identical
+    // at any --threads, re-derived bit-exact on replay.
+    std::cout << "policy: " << result.shed
+              << " shed (certificate-backed), " << result.downshifted
+              << " down-shifted\n";
+    for (const auto& p : result.priors) {
+      std::cout << "priors: "
+                << (p.sla_class.empty() ? std::string("default") : p.sla_class)
+                << ":";
+      for (const auto& [variant, score] : p.ranked)
+        std::cout << ' ' << config.variants[variant] << '='
+                  << moldable::util::fmt(score);
+      std::cout << "\n";
+    }
+  }
 
   if (!result.per_class.empty()) {
-    moldable::util::Table table({"class", "count", "solved", "failed", "deadline-ms",
-                                 "misses", "queue-p50-ms", "queue-p99-ms",
-                                 "compute-p50-ms", "compute-p90-ms", "compute-p99-ms",
-                                 "compute-max-ms"});
+    moldable::util::Table table({"class", "count", "solved", "failed", "shed",
+                                 "deadline-ms", "misses", "queue-p50-ms",
+                                 "queue-p99-ms", "compute-p50-ms", "compute-p90-ms",
+                                 "compute-p99-ms", "compute-max-ms"});
     for (const auto& c : result.per_class) {
       table.add_row({c.sla_class, std::to_string(c.count), std::to_string(c.solved),
-                     std::to_string(c.failed),
+                     std::to_string(c.failed), std::to_string(c.shed),
                      c.deadline_seconds > 0
                          ? moldable::util::fmt(c.deadline_seconds * 1e3)
                          : std::string("-"),
@@ -756,6 +819,9 @@ int run_replay(const Options& opt) {
             << r.failed << " failed), memo " << r.memo_hits << "/" << r.memo_misses
             << " (-" << r.memo_evictions << "), " << r.cancelled_attempts
             << " cancelled, " << r.deadline_misses << " deadline miss(es)\n";
+  if (r.shed != 0 || r.downshifted != 0)
+    std::cout << "replay: policy re-derived " << r.shed << " shed, " << r.downshifted
+              << " down-shifted (matches the recording)\n";
   return 0;
 }
 
@@ -826,13 +892,23 @@ int main(int argc, char** argv) {
       if (opt.synthetic_set)
         std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
                      "in --serve mode (instances come from stdin)\n";
+      if (opt.shed && opt.deadlines.empty()) {
+        std::cerr << "--shed needs at least one --deadline class (shedding is "
+                     "certified against the class deadline budget)\n";
+        return 2;
+      }
+      if (opt.adapt && opt.portfolio.empty()) {
+        std::cerr << "--adapt learns per-class variant priors; it needs a "
+                     "--portfolio to reorder\n";
+        return 2;
+      }
       return run_serve(opt);
     }
     if (opt.window_set)
       std::cerr << "warning: --window/--max-inflight only affect --serve mode\n";
     if (opt.serve_only_set)
-      std::cerr << "warning: --window-history/--raw-samples/--deadline only "
-                   "affect --serve mode\n";
+      std::cerr << "warning: --window-history/--raw-samples/--deadline/--shed/"
+                   "--adapt only affect --serve mode\n";
     if (!opt.input.empty() && opt.synthetic_set)
       std::cerr << "warning: --instances/--jobs/--machines/--seed are ignored "
                    "when --input is given (the batch comes from the files)\n";

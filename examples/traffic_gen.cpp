@@ -132,6 +132,7 @@ struct SessionOutcome {
   std::uint64_t session = 0;  // WELCOME
   std::size_t results = 0;
   std::size_t solved = 0;
+  std::size_t shed = 0;  // per-record "shed ..." REJECTs (session continues)
   bool rejected = false;
   std::string reject_reason;
   bool summary_seen = false;
@@ -158,10 +159,20 @@ void read_responses(int fd, SessionOutcome& out) {
           if (r.ok) ++out.solved;
           break;
         }
-        case moldable::net::FrameType::kReject:
-          out.rejected = true;
-          out.reject_reason = moldable::net::decode_reject(frame).reason;
+        case moldable::net::FrameType::kReject: {
+          const moldable::net::RejectFrame r = moldable::net::decode_reject(frame);
+          // Reason-code grammar (framing.hpp): "shed ..." rejects ONE record
+          // with a lower-bound certificate and the session continues — it
+          // answers an arrival exactly like a RESULT frame. Anything else
+          // (e.g. "session-cap: ...") is fatal for the whole connection.
+          if (r.reason.rfind("shed ", 0) == 0) {
+            ++out.shed;
+          } else {
+            out.rejected = true;
+            out.reject_reason = r.reason;
+          }
           break;
+        }
         case moldable::net::FrameType::kSummary:
           out.summary_seen = true;
           out.summary = moldable::net::decode_summary(frame);
@@ -220,17 +231,21 @@ int run_connect(const Options& opt) {
   }
   std::cerr << "traffic_gen: session " << outcome.session << ": sent "
             << summary.arrivals << " arrival(s), received " << outcome.results
-            << " result(s) (" << outcome.solved << " solved)\n";
+            << " result(s) (" << outcome.solved << " solved), " << outcome.shed
+            << " shed\n";
   if (!outcome.summary_seen) {
     std::cerr << "traffic_gen: server closed without a SUMMARY frame\n";
     return 1;
   }
-  if (outcome.results != summary.arrivals ||
+  // Every arrival must be answered — by a RESULT or a per-record shed
+  // REJECT. The SUMMARY's `results` counts RESULT frames only.
+  if (outcome.results + outcome.shed != summary.arrivals ||
       outcome.summary.records != summary.arrivals ||
       outcome.summary.results != outcome.results) {
     std::cerr << "traffic_gen: result mismatch: summary reports "
               << outcome.summary.records << " record(s) / " << outcome.summary.results
-              << " result(s)\n";
+              << " result(s); client saw " << outcome.results << " result(s) + "
+              << outcome.shed << " shed for " << summary.arrivals << " arrival(s)\n";
     return 1;
   }
   return 0;

@@ -49,7 +49,8 @@ std::optional<std::uint64_t> memo_key(const jobs::Instance& instance,
 }
 
 MemoPlan plan_memo(const std::vector<jobs::Instance>& batch, std::uint64_t config_key,
-                   const std::function<bool(std::uint64_t)>& in_store) {
+                   const std::function<bool(std::uint64_t)>& in_store,
+                   const std::vector<std::uint64_t>* salts) {
   MemoPlan plan;
   const std::size_t n = batch.size();
   plan.source.assign(n, MemoPlan::kCompute);
@@ -58,7 +59,11 @@ MemoPlan plan_memo(const std::vector<jobs::Instance>& batch, std::uint64_t confi
 
   std::unordered_map<std::uint64_t, std::size_t> first_seen;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::optional<std::uint64_t> key = memo_key(batch[i], config_key);
+    std::optional<std::uint64_t> key = memo_key(batch[i], config_key);
+    if (key && salts && i < salts->size() && (*salts)[i] != 0) {
+      const std::uint64_t salt = (*salts)[i];
+      detail::fnv1a_mix(*key, &salt, sizeof(salt));
+    }
     if (!key) {
       ++plan.misses;  // computes, and can never be served from anywhere
       continue;

@@ -181,8 +181,16 @@ class MemoStore {
 /// duplicates of earlier indices and instances already present in the store
 /// (membership queried through `in_store` so this stays independent of the
 /// outcome type). hits + misses == batch size.
+///
+/// `salts`, when non-null, must be batch-sized; a nonzero salts[i] is mixed
+/// into slot i's key. Callers that solve an instance under a per-instance
+/// execution plan (a down-shifted or reordered variant portfolio) pass the
+/// plan's hash here so those outcomes never alias — and are never served
+/// as — full-portfolio cache entries for the same content. Salt 0 keeps the
+/// plain content key (the common path and the pre-plan behavior).
 MemoPlan plan_memo(const std::vector<jobs::Instance>& batch, std::uint64_t config_key,
-                   const std::function<bool(std::uint64_t)>& in_store);
+                   const std::function<bool(std::uint64_t)>& in_store,
+                   const std::vector<std::uint64_t>* salts = nullptr);
 
 /// Timing side-channel of one shard dispatch. queue_seconds[i] is the
 /// steady-clock delta from batch submission to slot i's shard pickup — the

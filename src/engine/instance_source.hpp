@@ -43,13 +43,19 @@
 
 namespace moldable::engine {
 
+/// Abstract producer of serve-mode records. The sequence next() yields is
+/// the canonical stream order: every digest-covered output downstream is a
+/// pure function of that sequence plus the serve config, never of timing,
+/// thread count, or which concrete source produced it.
 class InstanceSource {
  public:
   virtual ~InstanceSource() = default;
 
-  /// Blocking pull of the next record (parse-ok or malformed-with-
-  /// diagnostic). Returns false when the source is exhausted; after the
-  /// first false every further call must also return false.
+  /// Blocking pull of the next record (parse-ok, malformed-with-diagnostic,
+  /// or a flush marker with record.flush set — see jobs::StreamRecord).
+  /// Returns false when the source is exhausted; after the first false
+  /// every further call must also return false. Called from exactly one
+  /// thread (the serve loop).
   virtual bool next(jobs::StreamRecord& record) = 0;
 
   /// Manifest comment lines the source saw ahead of its records (a traffic

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
-#include "src/core/estimator.hpp"
 #include "src/engine/exec_core.hpp"
+#include "src/engine/policy.hpp"
 #include "src/sched/validator.hpp"
 #include "src/util/cancel.hpp"
 #include "src/util/common.hpp"
@@ -22,11 +23,20 @@ std::vector<VariantStats> aggregate(const std::vector<PortfolioOutcome>& outcome
   std::vector<VariantStats> out(variants.size());
   std::vector<std::vector<double>> gaps(variants.size());
   std::vector<std::vector<double>> walls(variants.size());
-  for (std::size_t v = 0; v < variants.size(); ++v) out[v].algorithm = variants[v];
+  // Attempts are keyed back to their variant by algorithm NAME, not slot:
+  // under per-instance variant plans the attempt list is a (possibly
+  // shrunken) permutation of the portfolio, so positions no longer line up.
+  std::unordered_map<std::string, std::size_t> by_name;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    out[v].algorithm = variants[v];
+    by_name.emplace(variants[v], v);
+  }
 
   for (const PortfolioOutcome& o : outcomes) {
-    for (std::size_t v = 0; v < o.attempts.size(); ++v) {
-      const VariantAttempt& a = o.attempts[v];
+    for (const VariantAttempt& a : o.attempts) {
+      const auto it = by_name.find(a.algorithm);
+      if (it == by_name.end()) continue;  // foreign cache entry; not ours to count
+      const std::size_t v = it->second;
       VariantStats& s = out[v];
       // Wall stats cover every attempt: a variant that burns time before
       // failing or being cancelled still costs the race, and hiding that
@@ -85,21 +95,6 @@ std::uint64_t config_memo_key(const PortfolioConfig& config) {
   const unsigned char tie = config.tie_break == TieBreak::kPortfolioOrder ? 1 : 0;
   fnv1a_mix(h, &tie, sizeof(tie));
   return h;
-}
-
-/// The instance's decision threshold for the early-cancel rule: the
-/// Ludwig-Tiwari estimator's certified lower bound omega (<= OPT). A
-/// completed makespan at or below it is provably unbeatable. Deterministic
-/// (pure function of the instance); -inf when the estimator is unavailable
-/// (it then never decides), 0 for empty instances (every variant returns
-/// the empty schedule, so the first completer decides).
-double decide_bound(const jobs::Instance& instance) {
-  if (instance.size() == 0) return 0.0;
-  try {
-    return core::estimate_makespan(instance).omega;
-  } catch (const std::exception&) {
-    return -std::numeric_limits<double>::infinity();
-  }
 }
 
 /// Collapses an attempt to the canonical excluded stub: name + kCancelled,
@@ -189,13 +184,58 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
 
   const std::size_t n_variants = config.variants.size();
 
+  // Resolve slot i's execution plan: null = identity (full portfolio in
+  // config order). Explicit identity permutations are canonicalized to null
+  // here so they memoize, digest, and salt exactly like a plan-free solve.
+  const auto plan_of = [&](std::size_t i) -> const std::vector<std::uint16_t>* {
+    if (!config.variant_plans || i >= config.variant_plans->size()) return nullptr;
+    const std::vector<std::uint16_t>& p = (*config.variant_plans)[i];
+    if (p.empty()) return nullptr;
+    if (p.size() == n_variants) {
+      bool identity = true;
+      for (std::size_t l = 0; l < p.size(); ++l)
+        if (p[l] != l) { identity = false; break; }
+      if (identity) return nullptr;
+    }
+    return &p;
+  };
+  if (config.variant_plans) {
+    for (const std::vector<std::uint16_t>& p : *config.variant_plans) {
+      std::vector<char> seen(n_variants, 0);
+      for (const std::uint16_t v : p) {
+        if (v >= n_variants)
+          throw std::invalid_argument("portfolio: variant plan index out of range");
+        if (seen[v])
+          throw std::invalid_argument("portfolio: duplicate variant in plan");
+        seen[v] = 1;
+      }
+    }
+  }
+
   PortfolioResult result;
   result.outcomes.resize(batch.size());
 
   exec::MemoPlan plan;
   if (memo) {
+    // A non-identity plan changes the outcome, so it must change the memo
+    // key: salt each planned slot with a hash of its plan. Identity slots
+    // keep salt 0 and share entries with plan-free runs.
+    std::vector<std::uint64_t> salts;
+    if (config.variant_plans) {
+      salts.assign(batch.size(), 0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::vector<std::uint16_t>* p = plan_of(i);
+        if (!p) continue;
+        std::uint64_t s = detail::kFnvOffsetBasis;
+        const char tag[] = "variant-plan";
+        fnv1a_mix(s, tag, sizeof(tag));
+        for (const std::uint16_t v : *p) fnv1a_mix(s, &v, sizeof(v));
+        salts[i] = s != 0 ? s : 1;  // 0 is the "unsalted" sentinel
+      }
+    }
     plan = exec::plan_memo(batch, config_memo_key(config),
-                           [&](std::uint64_t key) { return memo->contains(key); });
+                           [&](std::uint64_t key) { return memo->contains(key); },
+                           salts.empty() ? nullptr : &salts);
     result.memo_hits = plan.hits;
     result.memo_misses = plan.misses;
   }
@@ -241,62 +281,72 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
   const exec::ShardTiming timing = exec::run_sharded(
       batch.size(), config.threads, memo ? &plan : nullptr, [&](std::size_t i) {
         PortfolioOutcome& out = result.outcomes[i];
-        out.attempts.resize(n_variants);
-        // A single-variant portfolio has no peers to cancel and must stay
-        // bitwise equal to BatchSolver, so it skips the decision machinery
-        // (and the estimator call funding it) entirely.
-        const double omega = n_variants > 1
-                                 ? decide_bound(batch[i])
+        // The instance's execution plan maps lanes (attempt slots) to
+        // config-variant indices; without a plan, lane l IS variant l. The
+        // plan order is the canonical order for everything below — race
+        // seeding, the early-cancel walk, the digest.
+        const std::vector<std::uint16_t>* vp = plan_of(i);
+        const std::size_t lanes = vp ? vp->size() : n_variants;
+        const auto variant_of = [&](std::size_t lane) -> std::size_t {
+          return vp ? (*vp)[lane] : lane;
+        };
+        out.attempts.resize(lanes);
+        // A single-lane instance (single-variant portfolio, or a
+        // down-shifted plan) has no peers to cancel and must stay bitwise
+        // equal to solving that one variant alone, so it skips the decision
+        // machinery (and the estimator call funding it) entirely.
+        const double omega = lanes > 1
+                                 ? certified_lower_bound(batch[i])
                                  : -std::numeric_limits<double>::infinity();
 
-        if (config.race && n_variants > 1) {
+        if (config.race && lanes > 1) {
           // Concurrent lanes on the arena, nested inside this shard worker.
           // A decisive completion (makespan <= omega) cancels later lanes;
           // lanes whose token fired before they started are stubbed without
           // running at all.
-          exec::RaceArena arena(n_variants, config.race_width);
-          arena.run([&](std::size_t v) {
-            VariantAttempt& a = out.attempts[v];
-            const util::CancelToken& token = arena.token(v);
+          exec::RaceArena arena(lanes, config.race_width);
+          arena.run([&](std::size_t lane) {
+            VariantAttempt& a = out.attempts[lane];
+            const util::CancelToken& token = arena.token(lane);
             if (token.cancelled()) {
               a.outcome = AttemptOutcome::kCancelled;
-              a.algorithm = config.variants[v];
+              a.algorithm = config.variants[variant_of(lane)];
               return;
             }
-            run_attempt(i, v, a, &token);
+            run_attempt(i, variant_of(lane), a, &token);
             if (a.outcome == AttemptOutcome::kCompleted)
-              arena.post(v, a.makespan, a.lower_bound, a.makespan <= omega);
+              arena.post(lane, a.makespan, a.lower_bound, a.makespan <= omega);
           });
         } else {
-          // Sequential lanes in portfolio order; once the instance is
-          // decided the remaining variants are skipped outright (the
-          // canonicalization below stubs them).
+          // Sequential lanes in plan order; once the instance is decided
+          // the remaining lanes are skipped outright (the canonicalization
+          // below stubs them).
           bool decided = false;
-          for (std::size_t v = 0; v < n_variants && !decided; ++v) {
-            VariantAttempt& a = out.attempts[v];
-            run_attempt(i, v, a, nullptr);
+          for (std::size_t lane = 0; lane < lanes && !decided; ++lane) {
+            VariantAttempt& a = out.attempts[lane];
+            run_attempt(i, variant_of(lane), a, nullptr);
             decided = a.ok && a.makespan <= omega;
           }
         }
 
         // Canonicalization: re-derive the deterministic attempt set from
-        // completed results. Walk in portfolio order; once a completed
-        // attempt decides (makespan <= omega) every later attempt becomes
-        // the canonical kCancelled stub — whether its physical cancellation
+        // completed results. Walk in plan order; once a completed attempt
+        // decides (makespan <= omega) every later attempt becomes the
+        // canonical kCancelled stub — whether its physical cancellation
         // landed, it never started, or it even completed after the
         // decision. A kept lane can only be physically cancelled if a
         // custom solver threw cancelled_error spuriously (the arena only
         // cancels lanes the rule excludes); repair it with a serial re-run
         // so the canonical set never depends on timing.
         bool decided = false;
-        for (std::size_t v = 0; v < n_variants; ++v) {
-          VariantAttempt& a = out.attempts[v];
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          VariantAttempt& a = out.attempts[lane];
           if (decided) {
-            stub_cancelled(a, config.variants[v]);
+            stub_cancelled(a, config.variants[variant_of(lane)]);
             continue;
           }
           if (a.outcome == AttemptOutcome::kCancelled) {
-            run_attempt(i, v, a, nullptr);
+            run_attempt(i, variant_of(lane), a, nullptr);
             if (a.outcome == AttemptOutcome::kCancelled) {
               // A solver that throws cancelled_error with no token: treat
               // as a plain failure so canonicalization terminates.
@@ -309,9 +359,9 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
 
         // Combine the canonical attempts: best makespan, max certified
         // bound, tie-break-mode winner label.
-        std::size_t winner = n_variants;  // sentinel: none yet
-        for (std::size_t v = 0; v < n_variants; ++v) {
-          const VariantAttempt& a = out.attempts[v];
+        std::size_t winner = lanes;  // sentinel: none yet
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          const VariantAttempt& a = out.attempts[lane];
           out.compute_seconds += a.wall_seconds;
           if (!a.ok) continue;
           if (!out.ok) {
@@ -319,25 +369,25 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
             out.makespan = a.makespan;
             out.lower_bound = a.lower_bound;
             out.guarantee = a.guarantee;
-            winner = v;
+            winner = lane;
             continue;
           }
           out.lower_bound = std::max(out.lower_bound, a.lower_bound);
           if (a.makespan < out.makespan) {
             out.makespan = a.makespan;
             out.guarantee = a.guarantee;
-            winner = v;
+            winner = lane;
           } else if (a.makespan == out.makespan) {
             out.guarantee = std::min(out.guarantee, a.guarantee);
-            // kPortfolioOrder keeps the earliest tied variant (winner < v by
+            // kPortfolioOrder keeps the earliest tied lane (winner < lane by
             // construction); kWallTime hands the label to a faster tie.
             if (config.tie_break == TieBreak::kWallTime &&
                 a.wall_seconds < out.attempts[winner].wall_seconds)
-              winner = v;
+              winner = lane;
           }
         }
         if (out.ok) {
-          out.winner = config.variants[winner];
+          out.winner = config.variants[variant_of(winner)];
           // A decided instance carries a proof the code would otherwise
           // discard: the decision fired because makespan <= omega <= OPT,
           // and omega is itself a certified bound — fold it in so the

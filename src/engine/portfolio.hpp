@@ -102,6 +102,19 @@ struct PortfolioConfig {
   /// Concurrent variant lanes per raced instance; 0 = one lane per variant.
   /// Total worker concurrency in race mode is threads x race_width.
   unsigned race_width = 0;
+  /// Optional per-instance execution plans (the policy layer's down-shift /
+  /// prior-seeding hook), index-aligned with the batch; null = every
+  /// instance runs the full portfolio in config order. Each inner vector
+  /// lists `variants` indices in seeding order: that order IS the canonical
+  /// attempt order for the instance — race lanes, the early-cancel walk,
+  /// and the digest all follow it — so a plan deterministically changes the
+  /// outcome (and must be reproduced to reproduce the digest). An empty
+  /// inner vector (or a missing entry past the vector's end) is the
+  /// identity plan: full portfolio, config order, bitwise identical to a
+  /// plan-free solve and sharing its memo entries; non-identity plans are
+  /// salted into the memo key so they never alias. Entries must be valid,
+  /// duplicate-free variant indices. The pointee must outlive solve().
+  const std::vector<std::vector<std::uint16_t>>* variant_plans = nullptr;
 };
 
 /// How one variant's attempt on one instance ended.
@@ -144,7 +157,9 @@ struct PortfolioOutcome {
   double guarantee = 0;     ///< min proven factor among makespan-best variants
   double queue_seconds = 0;    ///< batch start -> shard pickup (not deterministic)
   double compute_seconds = 0;  ///< sum of variant walls; 0 when memo-served
-  std::vector<VariantAttempt> attempts;  ///< one per variant, portfolio order
+  /// One per planned lane, in plan order (= portfolio order without a
+  /// variant plan; a down-shifted instance has a single attempt).
+  std::vector<VariantAttempt> attempts;
 
   /// Mixes the digest-covered fields into `h` exactly as
   /// PortfolioResult::digest() does, under a caller-chosen index — the

@@ -40,6 +40,9 @@ class P2Estimator {
  public:
   explicit P2Estimator(double quantile);
 
+  /// Folds one sample into the marker bank. Order-sensitive by design
+  /// (P² is a streaming estimator): callers must feed samples in a serial,
+  /// deterministic order for the estimate to be reproducible.
   void add(double x);
   std::size_t count() const { return count_; }
   /// Current estimate (the middle marker height); meaningless below 5
@@ -71,6 +74,10 @@ class QuantileSketch {
 
   explicit QuantileSketch(std::size_t exact_threshold = kDefaultExactThreshold);
 
+  /// Folds one sample in. The summary is a pure function of the sample
+  /// sequence — the serve loop feeds latencies in serial finalize order,
+  /// which is what keeps sketched percentiles identical across thread
+  /// counts even though the samples themselves are wall-clock measurements.
   void add(double x);
 
   std::size_t count() const { return count_; }

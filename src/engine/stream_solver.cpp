@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "src/engine/sketch.hpp"
 #include "src/jobs/io.hpp"
@@ -21,6 +23,7 @@ struct ClassBucket {
       : queue(threshold), compute(threshold) {}
   std::size_t solved = 0, failed = 0;
   std::size_t deadline_misses = 0;
+  std::size_t shed = 0;
   QuantileSketch queue;
   QuantileSketch compute;
 };
@@ -72,6 +75,30 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
                                   "' must be finite and > 0");
     deadlines[name == "default" ? std::string() : name] = seconds;
   }
+  if (config.shed && deadlines.empty())
+    throw std::invalid_argument(
+        "stream: shed requires at least one class deadline (with nothing to "
+        "certify against there is nothing to shed)");
+  if (config.adapt && !portfolio_mode)
+    throw std::invalid_argument(
+        "stream: adapt requires a portfolio (a single solver has no variant "
+        "order to learn)");
+
+  // The policy layer: shed probe + virtual clock + variant plans. Owned
+  // here and driven entirely from the serial serve loop (fill, window cut,
+  // per-window finalize) — never from inside a worker.
+  std::optional<AdmissionPolicy> policy;
+  if (config.shed || config.adapt) {
+    AdmissionPolicy::Config policy_config;
+    policy_config.shed = config.shed;
+    policy_config.adapt = config.adapt;
+    policy_config.n_variants = portfolio_mode ? config.variants.size() : 0;
+    policy.emplace(policy_config, deadlines);
+  }
+  // Attempt names map back to portfolio indices for the prior updates.
+  std::unordered_map<std::string, std::uint16_t> variant_index;
+  for (std::size_t v = 0; v < config.variants.size(); ++v)
+    variant_index.emplace(config.variants[v], static_cast<std::uint16_t>(v));
 
   BatchConfig batch_config;
   batch_config.algorithm = config.algorithm;
@@ -102,6 +129,10 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
   struct Pending {
     jobs::Instance instance;
     std::uint64_t tag;
+    /// Admission probe's certified lower bound (deadline classes under an
+    /// active policy; 0 otherwise). Carried to the window cut so the
+    /// down-shift check never re-runs the estimator.
+    double omega;
   };
   std::vector<Pending> pending;
   const std::size_t capacity = config.window * config.max_inflight;
@@ -165,8 +196,37 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
         cap_history(result.errors);
         continue;
       }
-      pending.push_back(Pending{std::move(record.instance), record.tag});
-      if (config.on_admit) config.on_admit(pending.back().instance);
+      // on_admit fires for every parse-ok record, shed ones included: the
+      // recorder persists the full record stream and the replay re-derives
+      // the same shed set from it (digest-enforced below).
+      if (config.on_admit) config.on_admit(record.instance);
+      double omega = 0;
+      if (policy) {
+        policy->observe_arrival(record.instance.arrival());
+        const ShedDecision decision = policy->admission_check(record.instance);
+        omega = decision.omega;
+        if (decision.shed) {
+          // Refused at admission: consumes a stream-global index and mixes
+          // its certificate into the rolling digest (marker byte 2 in the
+          // ok-byte slot — can never collide with a served outcome), but
+          // never reaches the reorder buffer or a solver.
+          const std::size_t index = global_index++;
+          ShedOutcome shed;
+          shed.sla_class = record.instance.sla_class();
+          shed.arrival = record.instance.arrival();
+          shed.omega = decision.omega;
+          shed.budget = decision.budget;
+          mix_shed_digest(result.rolling_digest, index, shed);
+          ++result.shed;
+          auto it = classes.find(shed.sla_class);
+          if (it == classes.end())
+            it = classes.emplace(shed.sla_class, ClassBucket(sketch_threshold)).first;
+          ++it->second.shed;
+          if (config.on_shed) config.on_shed(index, record.tag, shed);
+          continue;
+        }
+      }
+      pending.push_back(Pending{std::move(record.instance), record.tag, omega});
     }
     if (pending.empty()) break;  // fully drained
 
@@ -188,9 +248,12 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
     window.reserve(take);
     std::vector<std::uint64_t> window_tags;
     window_tags.reserve(take);
+    std::vector<double> window_omegas;
+    window_omegas.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
       window.push_back(std::move(pending[i].instance));
       window_tags.push_back(pending[i].tag);
+      window_omegas.push_back(pending[i].omega);
     }
     pending.erase(pending.begin(), pending.begin() + take);
     if (pending.empty()) flushing = false;  // flush satisfied: resume filling
@@ -199,6 +262,23 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
     stats.index = result.windows;
     stats.instances = window.size();
     const std::size_t evictions_before = store_evictions();
+
+    // Per-instance execution plans from the policy: single-lane down-shifts
+    // for slack-exhausted deadline instances, prior-seeded lane orders under
+    // adapt. Derived serially at the cut — the virtual clock and prior table
+    // are frozen for the whole window, so the plan set is a pure function of
+    // the stream prefix and config.
+    std::vector<std::vector<std::uint16_t>> window_plans;
+    portfolio_config.variant_plans = nullptr;
+    if (policy && portfolio_mode && config.variants.size() > 1) {
+      window_plans.resize(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        VariantPlan plan = policy->plan_for(window[i], window_omegas[i]);
+        if (plan.downshift) ++stats.downshifted;
+        window_plans[i] = std::move(plan.order);
+      }
+      portfolio_config.variant_plans = &window_plans;
+    }
 
     // One solved instance folded into the per-class accounting: sketch the
     // latency split, and score the deadline when its class has one. Under a
@@ -247,6 +327,32 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
         account(index, window_tags[i], window[i], o.ok, o.queue_seconds,
                 o.compute_seconds);
       }
+      // Serial prior update from this window's canonical attempt sets. The
+      // win credit goes to the CANONICAL winner — the earliest attempt in
+      // plan order that completed at the outcome makespan — not the
+      // tie-break label, which under kWallTime may differ between runs.
+      // Cancelled attempts (race losers) are debited. Memo-served outcomes
+      // count too: their attempt sets are canonical by construction. Runs
+      // whenever the policy is active so a shed-only serve still learns the
+      // leaders its down-shifts will target.
+      if (policy) {
+        for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+          const PortfolioOutcome& o = r.outcomes[i];
+          const std::string& cls = window[i].sla_class();
+          bool win_credited = false;
+          for (const VariantAttempt& a : o.attempts) {
+            const auto vi = variant_index.find(a.algorithm);
+            if (vi == variant_index.end()) continue;
+            if (!win_credited && o.ok && a.ok && a.makespan == o.makespan) {
+              policy->priors().observe_win(cls, vi->second);
+              win_credited = true;
+            } else if (a.outcome == AttemptOutcome::kCancelled) {
+              policy->priors().observe_cancel(cls, vi->second);
+            }
+          }
+        }
+        policy->priors().end_window();
+      }
     } else {
       const BatchResult r =
           batch_solver.solve(window, batch_config, config.memo ? &batch_memo : nullptr);
@@ -275,6 +381,7 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
     result.memo_misses += stats.memo_misses;
     result.cancelled_attempts += stats.cancelled_attempts;
     result.deadline_misses += stats.deadline_misses;
+    result.downshifted += stats.downshifted;
     if (on_window) on_window(stats);
     result.window_stats.push_back(stats);
     cap_history(result.window_stats);
@@ -291,10 +398,12 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
     const auto dl = deadlines.find(name);
     s.deadline_seconds = dl == deadlines.end() ? 0 : dl->second;
     s.deadline_misses = bucket.deadline_misses;
+    s.shed = bucket.shed;
     s.queue = bucket.queue.summary();
     s.compute = bucket.compute.summary();
     result.per_class.push_back(std::move(s));
   }
+  if (policy) result.priors = policy->priors().snapshot();
   result.wall_seconds = stream_timer.seconds();
   return result;
 }

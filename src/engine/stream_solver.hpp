@@ -63,6 +63,19 @@
 // admission to the served-outcome callback (on_served) so a server can
 // route results back to the originating session; tags never influence
 // ordering, solving, or any digest.
+//
+// Admission policy (`shed` / `adapt` — see policy.hpp for the full layer
+// contract): with `shed`, a deadline-class record whose certified lower
+// bound omega exceeds its class budget is refused at admission — it
+// consumes a stream-global index, mixes a shed marker (omega + budget
+// included) into the rolling digest, fires on_shed instead of on_served,
+// and never reaches a solver; an admitted deadline-class instance whose
+// slack is gone by its window cut (stream virtual time, never wall clock)
+// races only the prior-leading variant (down-shift). With `adapt`, learned
+// per-class priors reorder each instance's race lanes. Both knobs change
+// the digest deterministically: every decision is a pure function of
+// (stream, config), so digests remain thread-count independent and
+// replay-exact — the shed set itself is digest-enforced.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +88,7 @@
 
 #include "src/engine/batch_solver.hpp"
 #include "src/engine/instance_source.hpp"
+#include "src/engine/policy.hpp"
 #include "src/engine/portfolio.hpp"
 #include "src/engine/registry.hpp"
 
@@ -110,6 +124,14 @@ struct StreamConfig {
   /// PortfolioConfig::race — wall-clock only, digests unchanged).
   bool race = false;
   unsigned race_width = 0;  ///< lanes per raced instance; 0 = one per variant
+  /// Certificate-backed load shedding + lateness down-shift (requires at
+  /// least one class deadline — with nothing to certify against there is
+  /// nothing to shed). Deterministic: changes the digest, but identically
+  /// at every thread count and on every replay. See the file comment.
+  bool shed = false;
+  /// Learned per-class variant priors reorder race lane seeding (portfolio
+  /// mode only). Deterministic like `shed`.
+  bool adapt = false;
   /// Record/replay hooks (traffic/replay.hpp is the canonical consumer).
   /// on_admit fires for every parse-ok record in read (pre-reorder) order —
   /// the exact stream a recorder must persist to reproduce the windowing,
@@ -128,6 +150,14 @@ struct StreamConfig {
   /// the on_admit calls it separates) — a recorder persists the marker so a
   /// replay reproduces the flush-driven window cuts. See StreamRecord::flush.
   std::function<void()> on_flush;
+  /// Fires for every record refused by the shed rule, at admission time,
+  /// under the stream-global index the shed consumed — after on_admit (a
+  /// recorder persists the record; the shed set is re-derived on replay)
+  /// and instead of on_served (the instance is never solved). Index order
+  /// across on_served and on_shed together is the stream-global order, so
+  /// a recorder appending per-index rows from both hooks stays gap-free.
+  std::function<void(std::size_t index, std::uint64_t tag, const ShedOutcome&)>
+      on_shed;
   /// Replay latency override, indexed by stream-global outcome index: when
   /// set, per-class accounting and deadline scoring use these recorded
   /// values instead of the live measurement — the deadline-miss tally, a
@@ -152,6 +182,10 @@ struct WindowStats {
   /// Instances of a deadline class whose queue+compute latency exceeded
   /// their class deadline in this window (measured; not in any digest).
   std::size_t deadline_misses = 0;
+  /// Instances this window served on a single down-shifted lane because
+  /// their deadline slack was already gone at the window cut (deterministic
+  /// — the rule runs on stream virtual time).
+  std::size_t downshifted = 0;
   std::uint64_t digest = 0;          ///< this window's own batch digest
   std::uint64_t rolling_digest = 0;  ///< stream digest after this window
 };
@@ -169,6 +203,9 @@ struct ClassStats {
   /// Instances whose queue+compute latency exceeded the class deadline
   /// (always 0 for classes without one). Measured, not deterministic.
   std::size_t deadline_misses = 0;
+  /// Instances refused at admission by the shed rule (not included in
+  /// `count` — they were never served). Deterministic, digest-enforced.
+  std::size_t shed = 0;
   exec::Percentiles queue;
   exec::Percentiles compute;
 };
@@ -199,6 +236,17 @@ struct StreamResult {
   /// (deterministic, see WindowStats::cancelled_attempts).
   std::size_t cancelled_attempts = 0;
   std::size_t deadline_misses = 0;  ///< stream total over all deadline classes
+  /// Records refused at admission by the shed rule (never solved; each
+  /// consumed a stream-global index and mixed its certificate into the
+  /// rolling digest). Deterministic.
+  std::size_t shed = 0;
+  /// Instances served on a single down-shifted lane (stream total over
+  /// WindowStats::downshifted). Deterministic.
+  std::size_t downshifted = 0;
+  /// Final prior-table state (empty unless shed/adapt ran). Deterministic:
+  /// built from canonical win/cancel tallies in the serial finalize, so
+  /// identical across thread counts and on replay.
+  std::vector<VariantPriorTable::ClassPriors> priors;
   /// Leading comment lines of the stream (before the first record header) —
   /// a traffic generator's manifest block, passed through for reporting and
   /// for the record/replay harness. '#' prefixes preserved.
@@ -225,8 +273,9 @@ class StreamSolver {
 
   /// Serves `source` to exhaustion. Throws std::invalid_argument up front —
   /// before consuming any input — for a zero window/max_inflight, an
-  /// unknown or duplicate solver name, eps out of range, or a non-finite
-  /// or non-positive class deadline; per-instance failures and malformed
+  /// unknown or duplicate solver name, eps out of range, a non-finite or
+  /// non-positive class deadline, `shed` without any class deadline, or
+  /// `adapt` outside portfolio mode; per-instance failures and malformed
   /// records are recorded, never thrown.
   StreamResult run(InstanceSource& source, const StreamConfig& config,
                    const WindowCallback& on_window = {},

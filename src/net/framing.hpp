@@ -8,9 +8,26 @@
 //   WELCOME  u64 session-id                       — sent on admission
 //   RESULT   u64 session-id, u64 stream-global index, u8 ok,
 //            f64 queue-seconds, f64 compute-seconds
-//   REJECT   u64 session-id (0 pre-admission), reason text — then close
+//   REJECT   u64 session-id (0 pre-admission), reason text
 //   SUMMARY  u64 session-id, u64 records, malformed, results, solved,
 //            failed                               — last frame before close
+//
+// REJECT reason grammar: the first whitespace-delimited token (any trailing
+// ':' stripped) is a stable machine-readable code; the rest is key=value
+// detail / free text. Codes:
+//
+//   session-cap  — connection refused before admission (session id 0); the
+//                  server closes the connection after this frame. Reason
+//                  reads "session-cap: <detail>".
+//   shed         — ONE record refused by the admission policy's certificate
+//                  ("shed index=N class=C omega=X budget=Y": the certified
+//                  lower bound omega proves the class deadline unmeetable).
+//                  The session STAYS OPEN; a shed REJECT answers its record
+//                  exactly like a RESULT frame, and the session's SUMMARY
+//                  still arrives once every record is answered.
+//
+// Unknown codes must be treated as fatal per-connection errors by clients
+// (the conservative reading: only "shed" is known to be per-record).
 //
 // Numeric payload fields are little-endian fixed width; doubles travel as
 // their IEEE-754 bit pattern. The decoder is incremental — feed it whatever
@@ -60,7 +77,10 @@ struct ResultFrame {
 
 struct RejectFrame {
   std::uint64_t session = 0;  ///< 0 when rejected before admission
-  std::string reason;         ///< named reason, e.g. "session-cap: ..."
+  /// Named reason; first token is the machine-readable code (see the file
+  /// comment): "session-cap ..." closes the connection, "shed ..." rejects
+  /// one record and the session continues.
+  std::string reason;
 };
 
 struct SummaryFrame {

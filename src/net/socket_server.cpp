@@ -182,13 +182,15 @@ void SocketServer::enqueue_frame(Session& session, std::string frame) {
 }
 
 void SocketServer::maybe_complete_session(Session& session) {
-  // results == records is exactly "every admitted record served": records is
-  // final once the reader is at EOF, malformed records never produce a
-  // result, and publish() is the only result producer. A client of an
-  // endless listener therefore gets its SUMMARY (and the close) as soon as
-  // its own work is done, not when the server eventually drains.
+  // results + shed == records is exactly "every admitted record answered":
+  // records is final once the reader is at EOF, malformed records never
+  // produce an answer, and publish()/publish_shed() are the only answer
+  // producers (a RESULT frame or a per-record shed REJECT respectively). A
+  // client of an endless listener therefore gets its SUMMARY (and the
+  // close) as soon as its own work is done, not when the server eventually
+  // drains.
   if (session.summary_sent || !session.reader_done) return;
-  if (session.tally.results != session.tally.records) return;
+  if (session.tally.results + session.tally.shed != session.tally.records) return;
   SummaryFrame summary;
   summary.session = session.id;
   summary.records = session.tally.records;
@@ -255,6 +257,19 @@ void SocketServer::publish(std::size_t index, std::uint64_t tag, bool ok,
   enqueue_frame(session,
                 encode(ResultFrame{tag, static_cast<std::uint64_t>(index), ok,
                                    queue_seconds, compute_seconds}));
+  maybe_complete_session(session);
+}
+
+void SocketServer::publish_shed(std::size_t index, std::uint64_t tag,
+                                const std::string& reason) {
+  (void)index;  // the reason text names the index; the frame layout is fixed
+  if (tag == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tag > sessions_.size()) return;  // unknown tag (e.g. a replayed stream)
+  Session& session = *sessions_[tag - 1];
+  ++session.tally.shed;
+  ++totals_.shed;
+  enqueue_frame(session, encode(RejectFrame{tag, reason}));
   maybe_complete_session(session);
 }
 

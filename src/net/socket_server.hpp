@@ -103,16 +103,21 @@ struct SessionCounters {
   std::size_t results = 0;    ///< RESULT frames queued back
   std::size_t solved = 0;
   std::size_t failed = 0;
+  /// Per-record shed REJECT frames queued back (the admission policy's
+  /// certificate-backed refusals — the session itself stays admitted; every
+  /// shed record counts toward its completion like a result).
+  std::size_t shed = 0;
   bool write_failed = false;  ///< client vanished before its frames drained
 };
 
 /// Aggregate tallies, stable after finish().
 struct ServerCounters {
   std::size_t accepted = 0;
-  std::size_t rejected = 0;  ///< admission-cap rejections
+  std::size_t rejected = 0;  ///< admission-cap rejections (whole connections)
   std::size_t records = 0;
   std::size_t malformed = 0;
   std::size_t results = 0;
+  std::size_t shed = 0;  ///< per-record shed REJECT frames (sessions stay up)
 };
 
 class SocketServer : public engine::InstanceSource {
@@ -140,6 +145,14 @@ class SocketServer : public engine::InstanceSource {
   /// (e.g. 0 on a replayed stream) are ignored.
   void publish(std::size_t index, std::uint64_t tag, bool ok, double queue_seconds,
                double compute_seconds);
+
+  /// Routes one shed record back to its session as a mid-session REJECT
+  /// frame (reason code "shed ..." — see framing.hpp for the grammar). Call
+  /// from StreamConfig::on_shed. The session stays open: a shed record
+  /// counts toward the session's completion exactly like a result, so a
+  /// client whose every record was shed still gets its SUMMARY and close.
+  /// Unknown tags are ignored like publish().
+  void publish_shed(std::size_t index, std::uint64_t tag, const std::string& reason);
 
   /// Stops accepting new connections (idempotent). Existing sessions drain
   /// normally; next() returns false once they do.

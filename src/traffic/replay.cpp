@@ -102,7 +102,8 @@ std::string serve_line(const engine::StreamConfig& c) {
      << " window-history=" << c.window_history
      << " raw-samples=" << (c.raw_samples ? 1 : 0)
      << " tie-break=" << (c.tie_break == engine::TieBreak::kWallTime ? "wall" : "order")
-     << " race=" << (c.race ? 1 : 0) << " race-width=" << c.race_width;
+     << " race=" << (c.race ? 1 : 0) << " race-width=" << c.race_width
+     << " shed=" << (c.shed ? 1 : 0) << " adapt=" << (c.adapt ? 1 : 0);
   return os.str();
 }
 
@@ -123,6 +124,8 @@ void apply_serve_kv(engine::StreamConfig& c, const std::string& key,
   } else if (key == "race") c.race = parse_u64(value, key) != 0;
   else if (key == "race-width")
     c.race_width = static_cast<unsigned>(parse_u64(value, key));
+  else if (key == "shed") c.shed = parse_u64(value, key) != 0;
+  else if (key == "adapt") c.adapt = parse_u64(value, key) != 0;
   else fail("unknown serve-config key '" + key + "'");
 }
 
@@ -132,7 +135,8 @@ std::string counters_line(const RecordedCounters& c) {
      << " failed=" << c.failed << " memo-hits=" << c.memo_hits
      << " memo-misses=" << c.memo_misses << " memo-evictions=" << c.memo_evictions
      << " cancelled=" << c.cancelled_attempts
-     << " deadline-misses=" << c.deadline_misses;
+     << " deadline-misses=" << c.deadline_misses << " shed=" << c.shed
+     << " downshifted=" << c.downshifted;
   return os.str();
 }
 
@@ -147,6 +151,8 @@ void apply_counter_kv(RecordedCounters& c, const std::string& key,
   else if (key == "memo-evictions") c.memo_evictions = v;
   else if (key == "cancelled") c.cancelled_attempts = v;
   else if (key == "deadline-misses") c.deadline_misses = v;
+  else if (key == "shed") c.shed = v;
+  else if (key == "downshifted") c.downshifted = v;
   else fail("unknown served counter '" + key + "'");
 }
 
@@ -198,6 +204,18 @@ engine::StreamConfig StreamRecorder::instrument(engine::StreamConfig config) {
     latencies_.emplace_back(index, queue_s, compute_s);
     if (prev_served) prev_served(index, tag, ok, queue_s, compute_s);
   };
+  auto prev_shed = std::move(config.on_shed);
+  config.on_shed = [this, prev_shed = std::move(prev_shed)](
+                       std::size_t index, std::uint64_t tag,
+                       const engine::ShedOutcome& shed) {
+    // A shed record consumed a stream-global index but has no latency (it
+    // was never served); a 0 0 placeholder keeps the trailer's latency
+    // table gap-free in index order, which load_record enforces. The shed
+    // decision itself is NOT stored — replay re-derives it from the body
+    // and the digest proves it landed identically.
+    latencies_.emplace_back(index, 0.0, 0.0);
+    if (prev_shed) prev_shed(index, tag, shed);
+  };
   return config;
 }
 
@@ -221,6 +239,8 @@ void StreamRecorder::finalize(const engine::StreamResult& result) {
   c.memo_evictions = result.memo_evictions;
   c.cancelled_attempts = result.cancelled_attempts;
   c.deadline_misses = result.deadline_misses;
+  c.shed = result.shed;
+  c.downshifted = result.downshifted;
   os << counters_line(c) << '\n';
   os << "# records-digest " << fmt_hex(records_digest_) << '\n';
   os << "# rolling-digest " << fmt_hex(result.rolling_digest) << '\n';
@@ -372,10 +392,10 @@ ReplayFile load_record(std::istream& is) {
     fail("corrupted record file: body digest mismatch (trailer says " +
          fmt_hex(file.records_digest) + ", body hashes to " + fmt_hex(body_digest) +
          ") — the record bytes were altered after recording");
-  if (file.latencies.size() != file.counters.instances)
+  if (file.latencies.size() != file.counters.instances + file.counters.shed)
     fail("corrupted record file: " + std::to_string(file.latencies.size()) +
          " latency entries for " + std::to_string(file.counters.instances) +
-         " served instances");
+         " served + " + std::to_string(file.counters.shed) + " shed instances");
   return file;
 }
 
@@ -420,6 +440,8 @@ ReplayReport replay(const ReplayFile& file, unsigned threads,
   check("memo evictions", file.counters.memo_evictions, r.memo_evictions);
   check("cancelled attempts", file.counters.cancelled_attempts, r.cancelled_attempts);
   check("deadline misses", file.counters.deadline_misses, r.deadline_misses);
+  check("shed", file.counters.shed, r.shed);
+  check("downshifted", file.counters.downshifted, r.downshifted);
   if (r.malformed != 0)
     report.mismatches.push_back("replay hit " + std::to_string(r.malformed) +
                                 " malformed record(s) in a canonical body");

@@ -11,17 +11,22 @@
 //   <the served records, canonical io text, in read order>
 //   # moldable-record-end v1
 //   # source <original stream preamble, passed through>
-//   # latency <index> <queue_s> <compute_s>  (one per served instance)
+//   # latency <index> <queue_s> <compute_s>  (one per stream-global index —
+//            served instances record their measured split, shed ones a 0 0
+//            placeholder, so the table stays gap-free in index order)
 //   # served instances=N solved=.. failed=.. memo-hits=.. memo-misses=..
-//            memo-evictions=.. cancelled=.. deadline-misses=..
+//            memo-evictions=.. cancelled=.. deadline-misses=.. shed=..
+//            downshifted=..
 //   # records-digest <fnv64 of the record bytes>
 //   # rolling-digest <fnv64 — the session's stream digest>
 //   # moldable-record-close v1
 //
 // Determinism contract: the body is the exact record stream in read order,
 // so windowing, window cuts, memo hits/misses/evictions, early-cancel
-// exclusions, and the rolling digest — all pure functions of (stream,
-// config) — reproduce bit for bit at ANY thread count. The one measured
+// exclusions, admission-policy decisions (the shed set, down-shifts, and
+// prior-table evolution under `shed`/`adapt` — re-derived from the body,
+// never stored per record), and the rolling digest — all pure functions of
+// (stream, config) — reproduce bit for bit at ANY thread count. The one measured
 // quantity, per-instance latency, is recorded per stream-global index and
 // fed back through StreamConfig::replay_latencies, so deadline-miss tallies
 // reproduce too. replay() asserts all of it and reports every divergence.
@@ -48,6 +53,10 @@ struct RecordedCounters {
   std::size_t memo_hits = 0, memo_misses = 0, memo_evictions = 0;
   std::size_t cancelled_attempts = 0;
   std::size_t deadline_misses = 0;
+  /// Admission-policy tallies (0 on pre-policy recordings, which omit the
+  /// keys). Deterministic, so replay must reproduce them exactly.
+  std::size_t shed = 0;
+  std::size_t downshifted = 0;
 };
 
 /// Streams a serving session into a record file. Usage:

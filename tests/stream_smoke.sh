@@ -30,6 +30,16 @@
 #            cross-mode half of the racing determinism contract. Runs
 #            under the TSan CI leg so the cancellation protocol executes
 #            under the race detector.
+#   shed_soak — the control-loop gate: a 3000-arrival flash-crowd storm
+#            served over capacity under --shed --adapt (racing portfolio,
+#            interactive deadline 8 — calibrated so the certified-lower-
+#            bound distribution straddles it: ~40% of the arrivals shed,
+#            the rest serve, a few down-shift). Asserts that the rolling
+#            digest, the `policy:` shed/down-shift counters, AND the
+#            learned `priors:` table state are bitwise identical at 1 vs 4
+#            threads — then records a live 4-thread session and replays it
+#            on 1 thread, certifying the shed set is re-derived bit-exact
+#            from the record file. Runs under both sanitizer CI legs.
 #   storm  — the full acceptance pipeline: a >=10000-arrival flash-crowd
 #            storm recorded while served live at --threads 4 --race under
 #            the production configuration (racing portfolio, LRU memo,
@@ -107,6 +117,24 @@ race_soak)
         "$bin" --serve --memo --memo-capacity 64 --window-history 8 \
                --portfolio exact,fptas,mrt --window 16 --max-inflight 4 \
                --threads 4 < "$stream"
+    }
+    ;;
+shed_soak)
+    need_traffic_gen
+    tmp=${TMPDIR:-/tmp}
+    stream=$tmp/shed_soak_$$.txt
+    record=$tmp/shed_soak_$$.rec
+    trap 'rm -f "$stream" "$record"' EXIT
+    # Jobs 1-6 on 4 machines put the certified lower bounds on both sides
+    # of deadline 8 — the storm MUST shed some arrivals and serve others,
+    # or the mode certifies nothing (asserted below).
+    "$traffic_gen" --curve flash --seed 7 --horizon 40 --max-arrivals 3000 \
+                   --dup-every 11 --jobs-min 1 --jobs-cap 6 --machines 4 > "$stream"
+    run() {
+        "$bin" --serve --verify --race --portfolio exact,fptas,mrt \
+               --shed --adapt --deadline interactive=8 \
+               --memo --memo-capacity 64 --window 16 --max-inflight 4 \
+               --threads "$1" < "$stream"
     }
     ;;
 storm)
@@ -317,5 +345,57 @@ if [ "$mode" = race_soak ]; then
         exit 1
     fi
     echo "stream_smoke (race_soak) OK: $c1 (threads 1 == threads 4; race == sequential)"
+fi
+if [ "$mode" = shed_soak ]; then
+    # `|| true`: under set -e a no-match grep would kill the script before
+    # the diagnostics below could name what went missing.
+    p1=$(printf '%s\n' "$out1" | grep '^policy:' || true)
+    p4=$(printf '%s\n' "$out4" | grep '^policy:' || true)
+    if [ -z "$p1" ] || [ "$p1" != "$p4" ]; then
+        echo "stream_smoke (shed_soak): policy counters differ (or are missing) across thread counts:" >&2
+        echo "  threads=1: $p1" >&2
+        echo "  threads=4: $p4" >&2
+        exit 1
+    fi
+    case $p1 in
+    "policy: 0 shed"*)
+        # A shed soak in which nothing sheds certifies nothing about the
+        # admission certificate.
+        echo "stream_smoke (shed_soak): expected shed arrivals, got: $p1" >&2
+        exit 1
+        ;;
+    *" 0 down-shifted")
+        echo "stream_smoke (shed_soak): expected down-shifted instances, got: $p1" >&2
+        exit 1
+        ;;
+    esac
+    # The learned prior table is digest-grade state: every priors: line
+    # (class ranking + scores) must match bitwise across thread counts.
+    pr1=$(printf '%s\n' "$out1" | grep '^priors:' || true)
+    pr4=$(printf '%s\n' "$out4" | grep '^priors:' || true)
+    if [ -z "$pr1" ] || [ "$pr1" != "$pr4" ]; then
+        echo "stream_smoke (shed_soak): prior tables differ (or are missing) across thread counts:" >&2
+        echo "  threads=1: $pr1" >&2
+        echo "  threads=4: $pr4" >&2
+        exit 1
+    fi
+
+    # The record/replay half of the gate: a live 4-thread shed session must
+    # replay bit-exact on 1 thread — batch_service --replay asserts the
+    # digest, the shed/down-shift counters, and everything else recorded.
+    "$bin" --serve --threads 4 --race --portfolio exact,fptas,mrt \
+           --shed --adapt --deadline interactive=8 \
+           --memo --memo-capacity 64 --window 16 --max-inflight 4 \
+           --record "$record" < "$stream" > /dev/null
+    replay_out=$("$bin" --replay "$record" --threads 1)
+    case $replay_out in
+    *"policy re-derived"*) ;;
+    *)
+        echo "stream_smoke (shed_soak): replay did not re-derive the shed set:" >&2
+        printf '%s\n' "$replay_out" >&2
+        exit 1
+        ;;
+    esac
+    echo "stream_smoke (shed_soak) OK: $p1 (threads 1 == threads 4; recorded shed session replayed bit-exact)"
 fi
 echo "stream_smoke ($mode) OK: $d1, $m1 (threads 1 == threads 4)"
