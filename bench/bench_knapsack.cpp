@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "bench/pinned_harness.hpp"
+#include "src/jobs/generators.hpp"
+#include "src/knapsack/bounded.hpp"
 #include "src/knapsack/compressible.hpp"
 #include "src/knapsack/dense_dp.hpp"
 #include "src/knapsack/pairlist.hpp"
@@ -117,6 +119,53 @@ std::vector<moldable::bench::PinnedResult> run_pinned() {
     pinned.push_back({"pairlist_solve_n256_c4096",
                       moldable::bench::best_of_ms(kReps, [&] {
                         sink = knapsack::solve_pairlist(items, static_cast<double>(cap))
+                                   .profit;
+                      })});
+  }
+  {
+    // The Algorithm 2 engine on the BM_Compressible shape at cap 2^16 —
+    // the compressed-item path the crossover claims hinge on.
+    const procs_t cap = 1 << 16;
+    CompressibleInput in;
+    in.items = make_items(256, cap, 3);
+    in.capacity = cap;
+    in.rho = 0.1;
+    const double wide = static_cast<double>(cap) / 16;
+    double amin = static_cast<double>(cap);
+    for (const Item& it : in.items) {
+      const bool comp = it.size >= wide;
+      in.compressible.push_back(comp ? 1 : 0);
+      if (comp) amin = std::min(amin, it.size);
+    }
+    in.alpha_min = amin;
+    in.beta_max = cap;
+    in.nbar = 32;
+    pinned.push_back({"compressible_n256_c65536",
+                      moldable::bench::best_of_ms(kReps, [&] {
+                        sink = knapsack::solve_compressible(in).profit;
+                      })});
+  }
+  {
+    // The Section 4.3 bounded pipeline: round the big unforced jobs, group
+    // into types, expand binary containers, and solve the resulting 0/1
+    // instance — the per-deadline-probe cost inside Algorithm 3.
+    const jobs::Instance inst = jobs::make_instance(jobs::Family::kMixed, 300, 4096, 11);
+    const double d = 1.4 * inst.trivial_lower_bound();
+    const auto r = knapsack::BoundedRounding::make(d, 0.25, inst.machines());
+    std::vector<std::size_t> big;
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      const jobs::Job& job = inst.job(j);
+      if (job.t1() > d / 2 && leq_tol(job.tmin(), d / 2)) big.push_back(j);
+    }
+    pinned.push_back({"bounded_round_pack_n300_m4096",
+                      moldable::bench::best_of_ms(kReps, [&] {
+                        std::vector<knapsack::RoundedBigJob> rounded;
+                        rounded.reserve(big.size());
+                        for (std::size_t j : big)
+                          rounded.push_back(knapsack::round_big_job(inst, j, r));
+                        const knapsack::BoundedInstance bk(rounded);
+                        sink = knapsack::solve_pairlist(
+                                   bk.items(), static_cast<double>(inst.machines()))
                                    .profit;
                       })});
   }

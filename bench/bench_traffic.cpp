@@ -1,9 +1,12 @@
 // Traffic-generation benchmark: arrivals/second of the thinning sampler
 // per curve family, and full storm emission (arrivals + class mix + Pareto
 // sizing + io serialization) — the producer-side cost of the serve-mode
-// pipeline. Emits BENCH_traffic.json next to the binary so the numbers
-// seed the perf trajectory across PRs (baseline checked in under
-// bench/baselines/).
+// pipeline. Emits BENCH_traffic.json next to the binary in the shared
+// pinned schema (bench/pinned_harness.hpp): per-curve sample/emit kernels
+// as best-of-R `"pinned"` entries gated by bench/check_regression against
+// bench/baselines/, with the per-curve throughput table kept as extra
+// members. Shapes are pinned: changing a curve spec or the seed
+// invalidates the committed baseline, so re-record it in the same PR.
 //
 // Thinning efficiency is the interesting knob: candidates are proposed at
 // the analytic envelope λ*, so a peaky curve (flash crowd: λ* = 20x the
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/pinned_harness.hpp"
 #include "src/traffic/arrival_process.hpp"
 #include "src/traffic/rate_curve.hpp"
 #include "src/traffic/traffic_gen.hpp"
@@ -54,34 +58,44 @@ struct CurveReport {
   double emit_per_sec = 0;      ///< full storm emission throughput
 };
 
-CurveReport measure(const CurveCase& c) {
+/// Times one curve's sampler and full emission as pinned best-of-R kernels
+/// (appended to `pinned`) and returns the human-readable throughput row.
+CurveReport measure(const CurveCase& c,
+                    std::vector<moldable::bench::PinnedResult>& pinned) {
+  constexpr int kReps = 5;
   CurveReport report;
   report.name = c.name;
   const auto curve = traffic::parse_curve_spec(c.spec);
 
-  util::Timer sample_timer;
-  const std::vector<double> times = ArrivalProcess::generate(*curve, c.horizon, 7);
-  const double sample_s = sample_timer.seconds();
+  std::vector<double> times;
+  const double sample_ms = moldable::bench::best_of_ms(kReps, [&] {
+    times = ArrivalProcess::generate(*curve, c.horizon, 7);
+  });
   report.arrivals = times.size();
   report.arrivals_per_sec =
-      sample_s > 0 ? static_cast<double>(times.size()) / sample_s : 0;
+      sample_ms > 0 ? static_cast<double>(times.size()) / (sample_ms / 1e3) : 0;
+  pinned.push_back({std::string("sample_") + c.name, sample_ms});
 
   TrafficConfig config;
   config.curve = c.spec;
   config.seed = 7;
   config.horizon = c.horizon;
   config.duplicate_every = 11;
-  std::ostringstream storm;
-  util::Timer emit_timer;
-  const TrafficSummary summary = TrafficGenerator(config).write(storm);
-  const double emit_s = emit_timer.seconds();
+  TrafficSummary summary;
+  std::string storm_bytes;
+  const double emit_ms = moldable::bench::best_of_ms(kReps, [&] {
+    std::ostringstream storm;
+    summary = TrafficGenerator(config).write(storm);
+    storm_bytes = storm.str();
+  });
   report.emit_per_sec =
-      emit_s > 0 ? static_cast<double>(summary.arrivals) / emit_s : 0;
+      emit_ms > 0 ? static_cast<double>(summary.arrivals) / (emit_ms / 1e3) : 0;
+  pinned.push_back({std::string("emit_") + c.name, emit_ms});
 
   // Determinism cross-check: the same config must produce the same bytes.
   std::ostringstream again;
   const TrafficSummary re = TrafficGenerator(config).write(again);
-  if (re.stream_digest != summary.stream_digest || again.str() != storm.str()) {
+  if (re.stream_digest != summary.stream_digest || again.str() != storm_bytes) {
     std::fprintf(stderr,
                  "bench_traffic: DETERMINISM VIOLATION: %s regenerated "
                  "differently from the same config\n",
@@ -128,30 +142,34 @@ BENCHMARK(BM_StormEmission)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   // Per-curve throughput + determinism cross-check, emitted as
-  // BENCH_traffic.json before the google-benchmark loops run.
+  // BENCH_traffic.json (pinned schema) before the google-benchmark loops.
+  std::vector<moldable::bench::PinnedResult> pinned;
   std::vector<CurveReport> reports;
-  for (const CurveCase& c : kCurves) reports.push_back(measure(c));
+  for (const CurveCase& c : kCurves) reports.push_back(measure(c, pinned));
 
-  std::FILE* json = std::fopen("BENCH_traffic.json", "w");
-  if (json) {
-    std::fprintf(json, "{\n  \"bench\": \"traffic\",\n  \"seed\": 7,\n  \"curves\": [\n");
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-      const CurveReport& r = reports[i];
-      std::fprintf(json,
-                   "    {\"name\": \"%s\", \"arrivals\": %zu, "
-                   "\"sample_arrivals_per_sec\": %.0f, "
-                   "\"emit_arrivals_per_sec\": %.0f}%s\n",
-                   r.name.c_str(), r.arrivals, r.arrivals_per_sec, r.emit_per_sec,
-                   i + 1 < reports.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+  // The throughput table rides along as extra top-level members so the
+  // trajectory stays human-readable next to the gated "pinned" array.
+  std::string extra = "  \"seed\": 7,\n  \"curves\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CurveReport& r = reports[i];
+    char row[256];
+    std::snprintf(row, sizeof row,
+                  "    {\"name\": \"%s\", \"arrivals\": %zu, "
+                  "\"sample_arrivals_per_sec\": %.0f, "
+                  "\"emit_arrivals_per_sec\": %.0f}%s\n",
+                  r.name.c_str(), r.arrivals, r.arrivals_per_sec, r.emit_per_sec,
+                  i + 1 < reports.size() ? "," : "");
+    extra += row;
   }
+  extra += "  ],\n";
+  const bool wrote =
+      moldable::bench::write_pinned_json("BENCH_traffic.json", "traffic", extra, pinned);
+
   for (const CurveReport& r : reports)
     std::printf("%-8s %8zu arrivals   sample %12.0f /s   emit %12.0f /s\n",
                 r.name.c_str(), r.arrivals, r.arrivals_per_sec, r.emit_per_sec);
-  std::printf("determinism: OK (regeneration is byte-identical); wrote "
-              "BENCH_traffic.json\n\n");
+  std::printf("determinism: OK (regeneration is byte-identical)%s\n\n",
+              wrote ? "; wrote BENCH_traffic.json" : "");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -78,12 +78,14 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -242,6 +244,48 @@ void usage(const char* argv0) {
             << "  --verify        re-solve on 1 thread and compare digests\n";
 }
 
+// Numeric option parsing: the stoXX family throws std::invalid_argument /
+// std::out_of_range on malformed text, which used to escape parse() and
+// abort via the top-level handler with an unhelpful message. Every numeric
+// flag now funnels through these helpers so a bad value exits 2 with the
+// flag named, like every other usage error.
+[[noreturn]] void bad_numeric(const std::string& arg, const char* kind,
+                              const std::string& text) {
+  std::cerr << arg << " needs " << kind << ", got '" << text << "'\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const std::string& arg, const std::string& text) {
+  try {
+    if (text.empty() || text[0] == '-')  // stoull silently wraps negatives
+      throw std::invalid_argument("negative");
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    bad_numeric(arg, "a non-negative integer", text);
+  }
+}
+
+unsigned parse_unsigned(const std::string& arg, const std::string& text) {
+  const std::uint64_t v = parse_count(arg, text);
+  if (v > std::numeric_limits<unsigned>::max())
+    bad_numeric(arg, "a non-negative integer", text);
+  return static_cast<unsigned>(v);
+}
+
+double parse_real(const std::string& arg, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    bad_numeric(arg, "a number", text);
+  }
+}
+
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -253,9 +297,12 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--instances") { opt.instances = std::stoull(value()); opt.synthetic_set = true; }
-    else if (arg == "--jobs") { opt.jobs = std::stoull(value()); opt.synthetic_set = true; }
-    else if (arg == "--machines") { opt.machines = std::stoll(value()); opt.synthetic_set = true; }
+    if (arg == "--instances") { opt.instances = parse_count(arg, value()); opt.synthetic_set = true; }
+    else if (arg == "--jobs") { opt.jobs = parse_count(arg, value()); opt.synthetic_set = true; }
+    else if (arg == "--machines") {
+      opt.machines = static_cast<moldable::procs_t>(parse_count(arg, value()));
+      opt.synthetic_set = true;
+    }
     else if (arg == "--algorithm") { opt.algorithm = value(); opt.algorithm_set = true; }
     else if (arg == "--portfolio") {
       opt.portfolio = value();
@@ -279,8 +326,8 @@ Options parse(int argc, char** argv) {
         std::exit(2);
       }
     }
-    else if (arg == "--listen-sessions") opt.listen_sessions = std::stoull(value());
-    else if (arg == "--max-sessions") opt.max_sessions = std::stoull(value());
+    else if (arg == "--listen-sessions") opt.listen_sessions = parse_count(arg, value());
+    else if (arg == "--max-sessions") opt.max_sessions = parse_count(arg, value());
     else if (arg == "--port-file") {
       opt.port_file = value();
       if (opt.port_file.empty()) {
@@ -296,8 +343,8 @@ Options parse(int argc, char** argv) {
       }
     }
     else if (arg == "--watch-ledger") opt.watch_ledger = value();
-    else if (arg == "--watch-poll-ms") opt.watch_poll_ms = static_cast<unsigned>(std::stoul(value()));
-    else if (arg == "--watch-idle-exit") opt.watch_idle_exit = std::stoull(value());
+    else if (arg == "--watch-poll-ms") opt.watch_poll_ms = parse_unsigned(arg, value());
+    else if (arg == "--watch-idle-exit") opt.watch_idle_exit = parse_count(arg, value());
     else if (arg == "--record") {
       opt.record = value();
       if (opt.record.empty()) {
@@ -314,17 +361,17 @@ Options parse(int argc, char** argv) {
     }
     else if (arg == "--race") opt.race = true;
     else if (arg == "--race-width") {
-      opt.race_width = static_cast<unsigned>(std::stoul(value()));
+      opt.race_width = parse_unsigned(arg, value());
       opt.race = true;  // a width without racing would be inert
     }
-    else if (arg == "--window") { opt.window = std::stoull(value()); opt.window_set = true; }
-    else if (arg == "--max-inflight") { opt.max_inflight = std::stoull(value()); opt.window_set = true; }
+    else if (arg == "--window") { opt.window = parse_count(arg, value()); opt.window_set = true; }
+    else if (arg == "--max-inflight") { opt.max_inflight = parse_count(arg, value()); opt.window_set = true; }
     else if (arg == "--memo") opt.memo = true;
     else if (arg == "--memo-capacity") {
-      opt.memo_capacity = std::stoull(value());
+      opt.memo_capacity = parse_count(arg, value());
       opt.memo = true;  // a capacity without memoization would be inert
     }
-    else if (arg == "--window-history") { opt.window_history = std::stoull(value()); opt.serve_only_set = true; }
+    else if (arg == "--window-history") { opt.window_history = parse_count(arg, value()); opt.serve_only_set = true; }
     else if (arg == "--raw-samples") { opt.raw_samples = true; opt.serve_only_set = true; }
     else if (arg == "--shed") { opt.shed = true; opt.serve_only_set = true; }
     else if (arg == "--adapt") { opt.adapt = true; opt.serve_only_set = true; }
@@ -335,12 +382,16 @@ Options parse(int argc, char** argv) {
         std::cerr << "--deadline needs CLASS=SECONDS, got '" << spec << "'\n";
         std::exit(2);
       }
-      try {
-        opt.deadlines[spec.substr(0, eq)] = std::stod(spec.substr(eq + 1));
-      } catch (const std::exception&) {
-        std::cerr << "--deadline needs a numeric SECONDS, got '" << spec << "'\n";
+      // A NaN deadline would make every lateness comparison silently false
+      // and an infinite or negative one is operator error either way: only
+      // finite, non-negative budgets are meaningful.
+      const double seconds = parse_real(arg, spec.substr(eq + 1));
+      if (!std::isfinite(seconds) || seconds < 0) {
+        std::cerr << "--deadline SECONDS must be finite and non-negative, got '"
+                  << spec << "'\n";
         std::exit(2);
       }
+      opt.deadlines[spec.substr(0, eq)] = seconds;
       opt.serve_only_set = true;
     }
     else if (arg == "--tie-break") {
@@ -353,9 +404,9 @@ Options parse(int argc, char** argv) {
       }
       opt.tie_break_set = true;
     }
-    else if (arg == "--eps") opt.eps = std::stod(value());
-    else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::stoul(value()));
-    else if (arg == "--seed") { opt.seed = std::stoull(value()); opt.synthetic_set = true; }
+    else if (arg == "--eps") opt.eps = parse_real(arg, value());
+    else if (arg == "--threads") opt.threads = parse_unsigned(arg, value());
+    else if (arg == "--seed") { opt.seed = parse_count(arg, value()); opt.synthetic_set = true; }
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--verify") opt.verify = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); std::exit(0); }
@@ -678,6 +729,13 @@ int run_serve(const Options& opt) {
           " budget=" + moldable::util::fmt(shed.budget);
       raw_server->publish_shed(index, tag, reason);
     };
+    // Down-shifts send no frame of their own (the record's RESULT still
+    // follows), but the per-session tally feeds the SUMMARY counters.
+    auto prev_down = serve_config.on_downshift;
+    serve_config.on_downshift = [raw_server, prev_down](std::uint64_t tag) {
+      if (prev_down) prev_down(tag);
+      raw_server->note_downshift(tag);
+    };
   }
 
   StreamResult result;
@@ -717,12 +775,15 @@ int run_serve(const Options& opt) {
                 << s.malformed << " malformed, " << s.results << " result(s) ("
                 << s.solved << " solved, " << s.failed << " failed)";
       if (s.shed != 0) std::cout << ", " << s.shed << " shed";
+      if (s.down_shifted != 0) std::cout << ", " << s.down_shifted << " down-shifted";
       std::cout << (s.write_failed ? " [client vanished]" : "") << "\n";
     }
     const moldable::net::ServerCounters totals = server->counters();
     std::cout << "sessions: " << totals.accepted << " completed, " << totals.rejected
               << " rejected (cap " << opt.max_sessions << ")";
     if (totals.shed != 0) std::cout << ", " << totals.shed << " record(s) shed";
+    if (totals.down_shifted != 0)
+      std::cout << ", " << totals.down_shifted << " down-shifted";
     std::cout << "\n";
   }
   if (watcher)

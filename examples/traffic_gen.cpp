@@ -21,10 +21,12 @@
 // sent must come back as a result.
 #include <sys/socket.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -64,6 +66,15 @@ void usage(const char* argv0) {
       << "                  amdahl,powerlaw,comm,mixed)\n"
       << "  --dup-every K   every Kth arrival repeats one fixed instance —\n"
       << "                  memoization fodder (0 = off, the default)\n"
+      << "  --memcap C      per-machine memory capacity: every emitted\n"
+      << "                  instance carries memcap C and per-job footprints\n"
+      << "                  (0 = no memory axis, the default). Footprints come\n"
+      << "                  from an independent seed stream, so the jobs\n"
+      << "                  themselves are identical with or without --memcap\n"
+      << "  --mem-min A     log-uniform footprint lower bound (default 1)\n"
+      << "  --mem-max B     log-uniform footprint upper bound (default 1);\n"
+      << "                  needs 0 < A <= B. B > C x machines makes some\n"
+      << "                  instances provably unschedulable — shed fodder\n"
       << "  --connect ADDR  send the storm to a `batch_service --listen` server\n"
       << "                  (HOST:PORT, :PORT, PORT, or unix:PATH) instead of\n"
       << "                  stdout, and check the framed responses: exit 0 only\n"
@@ -74,6 +85,38 @@ struct Options {
   TrafficConfig config;
   std::string connect;  // empty = stream to stdout as before
 };
+
+// Same contract as batch_service: a malformed numeric exits 2 with the flag
+// named instead of escaping as an uncaught stoXX exception.
+[[noreturn]] void bad_numeric(const std::string& arg, const char* kind,
+                              const std::string& text) {
+  std::cerr << arg << " needs " << kind << ", got '" << text << "'\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const std::string& arg, const std::string& text) {
+  try {
+    if (text.empty() || text[0] == '-')  // stoull silently wraps negatives
+      throw std::invalid_argument("negative");
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    bad_numeric(arg, "a non-negative integer", text);
+  }
+}
+
+double parse_real(const std::string& arg, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    bad_numeric(arg, "a number", text);
+  }
+}
 
 Options parse(int argc, char** argv) {
   Options opt;
@@ -88,14 +131,18 @@ Options parse(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--curve") config.curve = value();
-    else if (arg == "--seed") config.seed = std::stoull(value());
-    else if (arg == "--horizon") config.horizon = std::stod(value());
-    else if (arg == "--max-arrivals") config.max_arrivals = std::stoull(value());
+    else if (arg == "--seed") config.seed = parse_count(arg, value());
+    else if (arg == "--horizon") config.horizon = parse_real(arg, value());
+    else if (arg == "--max-arrivals") config.max_arrivals = parse_count(arg, value());
     else if (arg == "--classes") config.classes = moldable::traffic::parse_class_mix(value());
-    else if (arg == "--pareto-alpha") config.pareto_alpha = std::stod(value());
-    else if (arg == "--jobs-min") config.jobs_min = std::stoull(value());
-    else if (arg == "--jobs-cap") config.jobs_cap = std::stoull(value());
-    else if (arg == "--machines") config.machines = std::stoll(value());
+    else if (arg == "--pareto-alpha") config.pareto_alpha = parse_real(arg, value());
+    else if (arg == "--jobs-min") config.jobs_min = parse_count(arg, value());
+    else if (arg == "--jobs-cap") config.jobs_cap = parse_count(arg, value());
+    else if (arg == "--machines")
+      config.machines = static_cast<moldable::procs_t>(parse_count(arg, value()));
+    else if (arg == "--memcap") config.memory_capacity = parse_real(arg, value());
+    else if (arg == "--mem-min") config.mem_min = parse_real(arg, value());
+    else if (arg == "--mem-max") config.mem_max = parse_real(arg, value());
     else if (arg == "--families") {
       config.families.clear();
       std::istringstream list(value());
@@ -108,7 +155,7 @@ Options parse(int argc, char** argv) {
         std::exit(2);
       }
     }
-    else if (arg == "--dup-every") config.duplicate_every = std::stoull(value());
+    else if (arg == "--dup-every") config.duplicate_every = parse_count(arg, value());
     else if (arg == "--connect") {
       opt.connect = value();
       if (opt.connect.empty()) {
@@ -238,14 +285,17 @@ int run_connect(const Options& opt) {
     return 1;
   }
   // Every arrival must be answered — by a RESULT or a per-record shed
-  // REJECT. The SUMMARY's `results` counts RESULT frames only.
+  // REJECT. The SUMMARY's `results` counts RESULT frames only, and its
+  // `shed` counter must agree with the REJECT frames the client saw.
   if (outcome.results + outcome.shed != summary.arrivals ||
       outcome.summary.records != summary.arrivals ||
-      outcome.summary.results != outcome.results) {
+      outcome.summary.results != outcome.results ||
+      outcome.summary.shed != outcome.shed) {
     std::cerr << "traffic_gen: result mismatch: summary reports "
               << outcome.summary.records << " record(s) / " << outcome.summary.results
-              << " result(s); client saw " << outcome.results << " result(s) + "
-              << outcome.shed << " shed for " << summary.arrivals << " arrival(s)\n";
+              << " result(s) / " << outcome.summary.shed << " shed; client saw "
+              << outcome.results << " result(s) + " << outcome.shed << " shed for "
+              << summary.arrivals << " arrival(s)\n";
     return 1;
   }
   return 0;

@@ -1,6 +1,8 @@
 #include "src/core/baselines.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "src/core/estimator.hpp"
 #include "src/sched/list_scheduler.hpp"
@@ -12,6 +14,25 @@ BaselineResult ludwig_tiwari_schedule(const jobs::Instance& instance) {
   if (instance.size() == 0) return out;
   const EstimatorResult est = estimate_makespan(instance);
   out.lower_bound = est.omega;
+  out.schedule = sched::list_schedule(instance, est.allotment);
+  return out;
+}
+
+BaselineResult memory_greedy_schedule(const jobs::Instance& instance) {
+  BaselineResult out;
+  if (instance.size() == 0) return out;
+  EstimatorResult est = estimate_makespan(instance);
+  const procs_t m = instance.machines();
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    const procs_t kmin = instance.min_feasible_allotment(j);
+    if (kmin > m)
+      throw std::invalid_argument(
+          "memory_greedy_schedule: job " + std::to_string(j) +
+          " is memory-infeasible: needs " + std::to_string(kmin) +
+          " machines, only " + std::to_string(m) + " exist");
+    if (est.allotment[j] < kmin) est.allotment[j] = kmin;
+  }
+  out.lower_bound = std::max(est.omega, instance.memory_lower_bound());
   out.schedule = sched::list_schedule(instance, est.allotment);
   return out;
 }

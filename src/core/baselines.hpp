@@ -23,6 +23,14 @@ struct BaselineResult {
 /// Estimator allotment + list scheduling: makespan <= 2 * OPT.
 BaselineResult ludwig_tiwari_schedule(const jobs::Instance& instance);
 
+/// Memory-aware greedy: the estimator's minimizing allotment, clamped up
+/// per job to the smallest memory-feasible allotment kmin_j, then list
+/// scheduled. On memory-free instances this is exactly
+/// ludwig_tiwari_schedule (kmin_j == 1 everywhere). The lower bound is
+/// max(omega, memory_lower_bound), both certified. Throws
+/// std::invalid_argument when some job is memory-infeasible (kmin_j > m).
+BaselineResult memory_greedy_schedule(const jobs::Instance& instance);
+
 /// Every job sequential, list scheduled. No approximation guarantee.
 BaselineResult sequential_schedule(const jobs::Instance& instance);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/sched/list_scheduler.hpp"
@@ -133,11 +134,24 @@ std::optional<ExactResult> solve_exact(const jobs::Instance& instance,
     throw std::invalid_argument("solve_exact: instance exceeds the exact-solver caps");
   if (n == 0) return ExactResult{};
 
-  // Incumbent from the sequential greedy.
-  const std::vector<procs_t> ones(n, 1);
-  sched::Schedule incumbent_sched = sched::list_schedule(instance, ones);
+  // Memory axis: every allotment decision for job j ranges over
+  // [kmin_j, m] where kmin_j is the smallest memory-feasible allotment
+  // (1 when the constraint does not bind, so the memory-free search is
+  // unchanged). kmin_j > m means no allotment is feasible at all.
+  std::vector<procs_t> kmin(n, 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    kmin[j] = instance.min_feasible_allotment(j);
+    if (kmin[j] > m)
+      throw std::invalid_argument(
+          "solve_exact: job " + std::to_string(j) + " is memory-infeasible: needs " +
+          std::to_string(kmin[j]) + " machines, only " + std::to_string(m) + " exist");
+  }
+
+  // Incumbent from the cheapest feasible allotment (all-ones when the
+  // memory axis is off).
+  sched::Schedule incumbent_sched = sched::list_schedule(instance, kmin);
   double best = incumbent_sched.makespan();
-  std::vector<procs_t> best_alloc = ones;
+  std::vector<procs_t> best_alloc = kmin;
   std::vector<double> best_starts;
   {
     best_starts.assign(n, 0);
@@ -145,7 +159,7 @@ std::optional<ExactResult> solve_exact(const jobs::Instance& instance,
   }
 
   Budget budget{limits.node_budget};
-  std::vector<procs_t> alloc(n, 1);
+  std::vector<procs_t> alloc = kmin;
 
   // DFS over allotments with area/time pruning, solving the rigid problem
   // at each leaf.
@@ -163,10 +177,13 @@ std::optional<ExactResult> solve_exact(const jobs::Instance& instance,
       }
       return;
     }
-    // Remaining jobs contribute at least their minimal work w(1) = t(1).
+    // Remaining jobs contribute at least their minimal feasible work
+    // w(kmin) = kmin * t(kmin) (work is monotone in k).
     double rest_min_work = 0;
-    for (std::size_t i = j + 1; i < n; ++i) rest_min_work += instance.job(i).t1();
-    for (procs_t k = 1; k <= m; ++k) {
+    for (std::size_t i = j + 1; i < n; ++i)
+      rest_min_work +=
+          static_cast<double>(kmin[i]) * instance.job(i).time(kmin[i]);
+    for (procs_t k = kmin[j]; k <= m; ++k) {
       const double t = instance.job(j).time(k);
       if (t >= best * (1 - kRelTol)) {
         // Times are non-increasing in k: smaller k only gets worse, but we
@@ -180,7 +197,7 @@ std::optional<ExactResult> solve_exact(const jobs::Instance& instance,
       alloc[j] = k;
       self(self, j + 1, partial_min_work + w);
     }
-    alloc[j] = 1;
+    alloc[j] = kmin[j];
   };
 
   try {

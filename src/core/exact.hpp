@@ -34,7 +34,11 @@ struct ExactResult {
 };
 
 /// Optimal schedule, or nullopt when the limits/budget were exceeded.
-/// Throws std::invalid_argument when the instance exceeds the hard caps.
+/// Memory-aware: on a memory-constrained instance the allotment search
+/// ranges over [kmin_j, m] per job, so the optimum is optimal among
+/// memory-feasible schedules. Throws std::invalid_argument when the
+/// instance exceeds the hard caps or when some job is memory-infeasible
+/// (kmin_j > m: no allotment satisfies the footprint).
 std::optional<ExactResult> solve_exact(const jobs::Instance& instance,
                                        const ExactLimits& limits = {});
 

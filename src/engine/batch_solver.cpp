@@ -124,6 +124,11 @@ BatchResult BatchSolver::solve(const std::vector<jobs::Instance>& batch,
         InstanceOutcome& out = result.outcomes[i];
         util::Timer item_timer;
         try {
+          // Fail closed before solving: a memory-constrained instance under
+          // a memory-blind variant becomes this instance's error (the named
+          // capability diagnostic), never a silently-overcommitted schedule
+          // and never a batch abort.
+          registry_->check_capability(config.algorithm, batch[i]);
           // Each worker reuses its thread's warm scratch arena across the
           // whole shard — kernel scratch stops hitting the heap after the
           // first few solves. Per-thread, so shards never share one.

@@ -12,9 +12,16 @@ namespace moldable::engine {
 
 double certified_lower_bound(const jobs::Instance& instance) {
   if (instance.size() == 0) return 0.0;
+  // The memory-aware area bound is valid independently of the estimator
+  // (and is +inf for provably-unschedulable memory-tight instances, which
+  // is exactly what lets the shed probe refuse them with a proof), so it is
+  // max-combined even when the estimator itself fails.
+  const double mem_bound =
+      instance.memory_constrained() ? instance.memory_lower_bound() : 0.0;
   try {
-    return core::estimate_makespan(instance).omega;
+    return std::max(core::estimate_makespan(instance).omega, mem_bound);
   } catch (const std::exception&) {
+    if (mem_bound > 0) return mem_bound;
     return -std::numeric_limits<double>::infinity();
   }
 }

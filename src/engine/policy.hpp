@@ -49,10 +49,14 @@ namespace moldable::engine {
 
 /// The certified makespan lower bound used as decision currency by both the
 /// early-cancel rule and the admission shed probe: the Ludwig-Tiwari
-/// estimator's omega (<= OPT). Deterministic — a pure function of the
+/// estimator's omega (<= OPT), max-combined with the memory-aware area
+/// bound when the instance is memory-constrained (+inf when some job's
+/// minimum feasible allotment exceeds m — provably unschedulable, so the
+/// shed probe fires with a proof). Deterministic — a pure function of the
 /// instance. Returns 0 for an empty instance (the empty schedule is
 /// optimal) and -infinity when the estimator is unavailable (a malformed
-/// oracle): a -inf bound never decides a race and never sheds.
+/// oracle) and no memory bound applies: a -inf bound never decides a race
+/// and never sheds.
 double certified_lower_bound(const jobs::Instance& instance);
 
 /// One admission probe's verdict. When `shed` is set, `omega > budget` is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -184,6 +185,12 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
 
   const std::size_t n_variants = config.variants.size();
 
+  // Capability table, resolved once — the per-instance lane filter below
+  // must not do registry lookups inside the worker loop.
+  std::vector<char> mem_aware(n_variants, 0);
+  for (std::size_t v = 0; v < n_variants; ++v)
+    mem_aware[v] = registry_->memory_aware(config.variants[v]) ? 1 : 0;
+
   // Resolve slot i's execution plan: null = identity (full portfolio in
   // config order). Explicit identity permutations are canonicalized to null
   // here so they memoize, digest, and salt exactly like a plan-free solve.
@@ -286,9 +293,42 @@ PortfolioResult PortfolioSolver::solve(const std::vector<jobs::Instance>& batch,
         // plan order is the canonical order for everything below — race
         // seeding, the early-cancel walk, the digest.
         const std::vector<std::uint16_t>* vp = plan_of(i);
-        const std::size_t lanes = vp ? vp->size() : n_variants;
+        std::vector<std::uint16_t> lane_vars;
+        if (vp) {
+          lane_vars = *vp;
+        } else {
+          lane_vars.resize(n_variants);
+          std::iota(lane_vars.begin(), lane_vars.end(), std::uint16_t{0});
+        }
+        // Capability filter (memory axis): a memory-constrained instance
+        // races only the memory-aware subset of its planned lanes — blind
+        // variants are dropped, not failed, so a mixed portfolio degrades
+        // gracefully. Deterministic: a pure function of instance content and
+        // the registry's declared capabilities, both memo-key-covered. When
+        // NO planned lane is capable the instance fails closed: every lane
+        // reports the named capability error.
+        if (batch[i].memory_constrained()) {
+          std::vector<std::uint16_t> capable;
+          for (const std::uint16_t v : lane_vars)
+            if (mem_aware[v]) capable.push_back(v);
+          if (capable.empty()) {
+            out.attempts.resize(lane_vars.size());
+            for (std::size_t lane = 0; lane < lane_vars.size(); ++lane) {
+              VariantAttempt& a = out.attempts[lane];
+              a.algorithm = config.variants[lane_vars[lane]];
+              a.outcome = AttemptOutcome::kFailed;
+              a.ok = false;
+              a.error = "capability: variant '" + a.algorithm +
+                        "' is memory-blind but instance '" + batch[i].name() +
+                        "' is memory-constrained (mem/memcap set)";
+            }
+            return;
+          }
+          lane_vars = std::move(capable);
+        }
+        const std::size_t lanes = lane_vars.size();
         const auto variant_of = [&](std::size_t lane) -> std::size_t {
-          return vp ? (*vp)[lane] : lane;
+          return lane_vars[lane];
         };
         out.attempts.resize(lanes);
         // A single-lane instance (single-variant portfolio, or a

@@ -1,5 +1,12 @@
 // PortfolioSolver: race several registry variants per instance, keep the best.
 //
+// Capability filtering (memory axis): a memory-constrained instance races
+// only the memory-aware subset of its planned lanes — memory-blind variants
+// are auto-dropped per instance (deterministically: instance content and
+// registry capabilities are both memo-key-covered). When no planned lane is
+// memory-aware the instance fails closed with the named capability error on
+// every lane, never a memory-overcommitted schedule.
+//
 // For every instance of a batch the configured variants are raced and the
 // portfolio keeps the best *valid* schedule per instance — validity is
 // re-checked with sched::validate, not just assumed from solver success —

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/baselines.hpp"
 #include "src/core/exact.hpp"
 
 namespace moldable::engine {
@@ -38,6 +39,23 @@ core::ScheduleResult solve_exact_wrapped(const jobs::Instance& instance,
   return out;
 }
 
+core::ScheduleResult memory_greedy_wrapped(const jobs::Instance& instance,
+                                           const SolverConfig& config) {
+  util::CancelScope scope(config.cancel);
+  util::ArenaScope arena_scope(config.arena);
+  const core::BaselineResult b = core::memory_greedy_schedule(instance);
+  core::ScheduleResult out;
+  out.schedule = b.schedule;
+  out.lower_bound = b.lower_bound;
+  out.makespan = out.schedule.makespan();
+  out.ratio_vs_lower = out.lower_bound > 0 ? out.makespan / out.lower_bound : 1;
+  // On memory-free instances this IS lt-2approx (kmin == 1 everywhere), so
+  // the 2 omega bound holds; the clamped schedule under a binding memory
+  // constraint has no proven factor.
+  out.guarantee = instance.memory_constrained() ? 0 : 2;
+  return out;
+}
+
 }  // namespace
 
 AlgorithmRegistry AlgorithmRegistry::with_builtins() {
@@ -53,6 +71,12 @@ AlgorithmRegistry AlgorithmRegistry::with_builtins() {
     return core::ptas_schedule(instance, config.eps);
   });
   r.add("exact", solve_exact_wrapped);
+  // The memory-aware pair. mem-exact reuses solve_exact, whose allotment
+  // search is memory-aware (kmin-clamped) by construction — under the
+  // distinct name the capability gate can route memory-constrained
+  // instances to it while "exact" keeps the memory-blind contract.
+  r.add("mem-greedy", memory_greedy_wrapped, SolverCaps{/*memory_aware=*/true});
+  r.add("mem-exact", solve_exact_wrapped, SolverCaps{/*memory_aware=*/true});
   return r;
 }
 
@@ -61,10 +85,10 @@ const AlgorithmRegistry& AlgorithmRegistry::global() {
   return instance;
 }
 
-void AlgorithmRegistry::add(std::string name, SolverFn fn) {
+void AlgorithmRegistry::add(std::string name, SolverFn fn, SolverCaps caps) {
   if (name.empty()) throw std::invalid_argument("registry: empty solver name");
   if (!fn) throw std::invalid_argument("registry: null solver for '" + name + "'");
-  if (!solvers_.emplace(std::move(name), std::move(fn)).second)
+  if (!solvers_.emplace(std::move(name), Entry{std::move(fn), caps}).second)
     throw std::invalid_argument("registry: duplicate solver name");
 }
 
@@ -72,10 +96,28 @@ bool AlgorithmRegistry::contains(const std::string& name) const {
   return solvers_.count(name) != 0;
 }
 
+const SolverCaps& AlgorithmRegistry::caps(const std::string& name) const {
+  at(name);  // uniform unknown-name diagnostic
+  return solvers_.find(name)->second.caps;
+}
+
+bool AlgorithmRegistry::memory_aware(const std::string& name) const {
+  return caps(name).memory_aware;
+}
+
+void AlgorithmRegistry::check_capability(const std::string& name,
+                                         const jobs::Instance& instance) const {
+  if (!instance.memory_constrained()) return;
+  if (memory_aware(name)) return;
+  throw std::invalid_argument("capability: variant '" + name +
+                              "' is memory-blind but instance '" + instance.name() +
+                              "' is memory-constrained (mem/memcap set)");
+}
+
 std::vector<std::string> AlgorithmRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(solvers_.size());
-  for (const auto& [name, fn] : solvers_) out.push_back(name);
+  for (const auto& [name, entry] : solvers_) out.push_back(name);
   return out;  // std::map iteration is already sorted
 }
 
@@ -87,13 +129,15 @@ const SolverFn& AlgorithmRegistry::at(const std::string& name) const {
     for (const auto& n : names()) msg << ' ' << n;
     throw std::invalid_argument(msg.str());
   }
-  return it->second;
+  return it->second.fn;
 }
 
 core::ScheduleResult AlgorithmRegistry::solve(const std::string& name,
                                               const jobs::Instance& instance,
                                               const SolverConfig& config) const {
-  return at(name)(instance, config);
+  const SolverFn& fn = at(name);
+  check_capability(name, instance);
+  return fn(instance, config);
 }
 
 }  // namespace moldable::engine

@@ -10,10 +10,18 @@
 //   lt-2approx                                                   (baseline)
 //   ptas                                                         (Section 3.2)
 //   exact                                                        (tiny refs)
+//   mem-greedy, mem-exact                          (memory-aware variants)
 //
 // Registries are value types; `global()` returns the shared immutable
 // instance holding the built-ins. Custom variants (ablations, tuned eps
 // schedules) can be added to a copy without touching the core layer.
+//
+// Capability flags: each entry declares whether it understands the memory
+// axis (`SolverCaps::memory_aware`). The paper algorithms predate the axis
+// and silently ignore footprints, which would produce memory-overcommitted
+// "valid-looking" schedules — so the engines fail closed instead: a
+// memory-constrained instance routed to a memory-blind variant yields the
+// named capability error (check_capability), never a wrong schedule.
 #pragma once
 
 #include <functional>
@@ -69,6 +77,17 @@ struct SolverConfig {
 using SolverFn =
     std::function<core::ScheduleResult(const jobs::Instance&, const SolverConfig&)>;
 
+/// Declared capabilities of a registered variant. Defaults describe the
+/// pre-memory-axis contract, so existing custom registrations keep their
+/// (fail-closed) behavior without a signature change.
+struct SolverCaps {
+  /// True when the solver honors the instance's `mem`/`memcap` constraint
+  /// (every returned allotment is memory-feasible and the certified lower
+  /// bound folds in memory_lower_bound()). Memory-blind variants are never
+  /// handed a memory-constrained instance — see check_capability().
+  bool memory_aware = false;
+};
+
 /// Name -> SolverFn map behind the engines' run-time solver selection.
 /// See the file comment for the built-in names. Lookup is O(log n); batch
 /// callers resolve once outside their worker loops.
@@ -83,12 +102,24 @@ class AlgorithmRegistry {
   /// Shared immutable registry of the built-ins.
   static const AlgorithmRegistry& global();
 
-  /// Registers `fn` under `name`. Throws std::invalid_argument when the
-  /// name is empty or already taken (silent override would make batch
-  /// configs ambiguous).
-  void add(std::string name, SolverFn fn);
+  /// Registers `fn` under `name` with the given capabilities (default:
+  /// memory-blind). Throws std::invalid_argument when the name is empty or
+  /// already taken (silent override would make batch configs ambiguous).
+  void add(std::string name, SolverFn fn, SolverCaps caps = {});
 
   bool contains(const std::string& name) const;
+
+  /// Declared capabilities of `name` (same throwing contract as at()).
+  const SolverCaps& caps(const std::string& name) const;
+  /// Shorthand: caps(name).memory_aware.
+  bool memory_aware(const std::string& name) const;
+
+  /// Fail-closed capability gate: throws std::invalid_argument with a
+  /// message starting "capability:" when `instance` is memory-constrained
+  /// and `name` is memory-blind. The engines run this before every solve so
+  /// a blind variant can never silently produce a memory-overcommitted
+  /// schedule. No-op for memory-free instances and memory-aware variants.
+  void check_capability(const std::string& name, const jobs::Instance& instance) const;
 
   /// Sorted solver names (stable across runs; used by --help output).
   std::vector<std::string> names() const;
@@ -98,12 +129,18 @@ class AlgorithmRegistry {
   /// registry does (batch callers resolve once, outside their worker loop).
   const SolverFn& at(const std::string& name) const;
 
-  /// Looks up `name` and runs it (same throwing contract as at()).
+  /// Looks up `name`, runs check_capability, and runs it (same throwing
+  /// contract as at(); the capability error when a memory-constrained
+  /// instance meets a memory-blind variant).
   core::ScheduleResult solve(const std::string& name, const jobs::Instance& instance,
                              const SolverConfig& config) const;
 
  private:
-  std::map<std::string, SolverFn> solvers_;
+  struct Entry {
+    SolverFn fn;
+    SolverCaps caps;
+  };
+  std::map<std::string, Entry> solvers_;
 };
 
 }  // namespace moldable::engine

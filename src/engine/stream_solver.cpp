@@ -274,7 +274,10 @@ StreamResult StreamSolver::run(InstanceSource& source, const StreamConfig& confi
       window_plans.resize(take);
       for (std::size_t i = 0; i < take; ++i) {
         VariantPlan plan = policy->plan_for(window[i], window_omegas[i]);
-        if (plan.downshift) ++stats.downshifted;
+        if (plan.downshift) {
+          ++stats.downshifted;
+          if (config.on_downshift) config.on_downshift(window_tags[i]);
+        }
         window_plans[i] = std::move(plan.order);
       }
       portfolio_config.variant_plans = &window_plans;

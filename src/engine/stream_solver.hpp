@@ -158,6 +158,13 @@ struct StreamConfig {
   /// a recorder appending per-index rows from both hooks stays gap-free.
   std::function<void(std::size_t index, std::uint64_t tag, const ShedOutcome&)>
       on_shed;
+  /// Fires once per lateness down-shift, at the window cut that planned it
+  /// (before the window solves), with the record's source tag — how a
+  /// network server tallies per-session down_shifted counters. The record
+  /// still flows to on_served afterwards; this hook is observability, not
+  /// an outcome. Deterministic: the down-shift rule runs on stream virtual
+  /// time, so the firing set is a pure function of (stream, config).
+  std::function<void(std::uint64_t tag)> on_downshift;
   /// Replay latency override, indexed by stream-global outcome index: when
   /// set, per-class accounting and deadline scoring use these recorded
   /// values instead of the live measurement — the deadline-miss tally, a

@@ -22,6 +22,12 @@ CertificateResult verify_certificate(const Instance& instance, const Certificate
   for (std::size_t j = 0; j < n; ++j)
     if (cert.allotment[j] < 1 || cert.allotment[j] > instance.machines())
       throw std::invalid_argument("verify_certificate: allotment out of range");
+  if (instance.memory_constrained())
+    for (std::size_t j = 0; j < n; ++j)
+      if (cert.allotment[j] < instance.min_feasible_allotment(j))
+        throw std::invalid_argument(
+            "verify_certificate: allotment memory-infeasible for job " +
+            std::to_string(j));
 
   CertificateResult res;
   res.schedule = sched::list_schedule(instance, cert.allotment, cert.order);

@@ -147,7 +147,22 @@ Instance make_instance(Family family, std::size_t n, procs_t m, std::uint64_t se
         add(std::make_shared<LogSpeedupTime>(rng.log_uniform(cfg.t1_min, cfg.t1_max)));
       break;
   }
-  return Instance(std::move(jobs), m, family_name(family));
+  Instance out(std::move(jobs), m, family_name(family));
+  if (cfg.memory_capacity > 0) {
+    if (!(cfg.mem_min > 0) || !(cfg.mem_max >= cfg.mem_min))
+      throw std::invalid_argument(
+          "make_instance: memory range needs 0 < mem_min <= mem_max");
+    // A separate stream derived from the base seed: footprints never
+    // perturb the job sampling above, so (family, n, m, seed) keeps
+    // generating the same jobs whether or not the memory axis is on.
+    util::Prng mem_rng(derive_seed(seed, 0x6d656dULL));  // "mem"
+    std::vector<double> mem(n);
+    for (std::size_t j = 0; j < n; ++j)
+      mem[j] = mem_rng.log_uniform(cfg.mem_min, cfg.mem_max);
+    out.set_memory_capacity(cfg.memory_capacity);
+    out.set_job_memory(std::move(mem));
+  }
+  return out;
 }
 
 Instance perfect_tiling_instance(procs_t m, double t) {

@@ -55,6 +55,15 @@ std::vector<Family> all_families();
 struct GeneratorConfig {
   double t1_min = 1.0;     ///< smallest sequential time
   double t1_max = 1000.0;  ///< largest sequential time (log-uniform)
+  /// Memory axis (off by default). When memory_capacity > 0 every generated
+  /// job draws a footprint log-uniformly from [mem_min, mem_max] and the
+  /// instance carries the capacity — yielding memory-constrained instances
+  /// only memory-aware variants accept. The footprint stream is seeded
+  /// independently of the job stream, so enabling memory never perturbs the
+  /// jobs an existing (family, n, m, seed) tuple generates.
+  double memory_capacity = 0;  ///< per-machine capacity; 0 = memory-free
+  double mem_min = 1.0;        ///< smallest footprint (log-uniform)
+  double mem_max = 1.0;        ///< largest footprint
 };
 
 /// Makes an instance of `family` with n jobs on m machines.

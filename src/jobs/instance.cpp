@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace moldable::jobs {
@@ -33,6 +34,48 @@ void Instance::set_sla_class(std::string sla_class) {
   sla_class_ = std::move(sla_class);
 }
 
+void Instance::set_memory_capacity(double capacity) {
+  // NaN fails the comparison's complement, same idiom as set_arrival.
+  if (!(capacity >= 0) || !std::isfinite(capacity))
+    throw std::invalid_argument("Instance: memory capacity must be finite and >= 0");
+  memory_capacity_ = capacity;
+}
+
+void Instance::set_job_memory(std::vector<double> memory) {
+  if (!memory.empty() && memory.size() != jobs_.size())
+    throw std::invalid_argument("Instance: job memory list must have one entry per job");
+  for (const double mem : memory)
+    if (!(mem >= 0) || !std::isfinite(mem))
+      throw std::invalid_argument("Instance: job memory must be finite and >= 0");
+  job_memory_ = std::move(memory);
+}
+
+procs_t Instance::min_feasible_allotment(std::size_t j) const {
+  if (!memory_constrained()) return 1;
+  const double mem = job_memory_.at(j);
+  if (mem <= memory_capacity_) return 1;
+  // ceil(mem / capacity) without floating-point ceil edge cases at exact
+  // multiples: k is feasible iff k * capacity >= mem (within tolerance).
+  const double ratio = mem / memory_capacity_;
+  auto k = static_cast<procs_t>(std::ceil(ratio - kRelTol));
+  if (k < 1) k = 1;
+  return k;
+}
+
+double Instance::memory_lower_bound() const {
+  if (!memory_constrained()) return 0;
+  double w = 0;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const procs_t k = min_feasible_allotment(j);
+    if (k > m_) return std::numeric_limits<double>::infinity();
+    // Work k * t_j(k) is monotone nondecreasing in k, so the work at the
+    // smallest feasible allotment bounds job j's work in ANY feasible
+    // schedule from below.
+    w += static_cast<double>(k) * jobs_[j].time(k);
+  }
+  return w / static_cast<double>(m_);
+}
+
 double Instance::min_time_bound() const {
   double b = 0;
   for (const Job& j : jobs_) b = std::max(b, j.tmin());
@@ -49,7 +92,7 @@ double Instance::area_bound() const {
 }
 
 double Instance::trivial_lower_bound() const {
-  return std::max(min_time_bound(), area_bound());
+  return std::max({min_time_bound(), area_bound(), memory_lower_bound()});
 }
 
 std::int64_t Instance::first_non_monotone(procs_t exhaustive_limit) const {

@@ -36,6 +36,38 @@ class Instance {
   const std::string& sla_class() const { return sla_class_; }
   void set_sla_class(std::string sla_class);
 
+  /// Optional second resource axis (the io `mem`/`memcap` directives):
+  /// each job carries a memory footprint and every machine has capacity
+  /// `memory_capacity()`. A job running on k machines spreads its
+  /// footprint, so allotment k is memory-feasible iff
+  /// `mem_j <= k * capacity` — the distributed-footprint model. Both
+  /// fields default off (no footprints, capacity 0 = uncapped) and the
+  /// scheduling algorithms that predate the axis ignore them; the
+  /// registry refuses to route a memory-constrained instance to such a
+  /// memory-blind variant.
+  /// Per-machine memory capacity in arbitrary units; 0 = uncapped (the
+  /// default). Must be finite and >= 0.
+  double memory_capacity() const { return memory_capacity_; }
+  void set_memory_capacity(double capacity);
+  /// Per-job memory footprints; size must equal size() (or empty to
+  /// clear). Every entry must be finite and >= 0.
+  void set_job_memory(std::vector<double> memory);
+  bool has_job_memory() const { return !job_memory_.empty(); }
+  /// Footprint of job j; 0 when no footprints are set.
+  double job_memory(std::size_t j) const {
+    return job_memory_.empty() ? 0.0 : job_memory_.at(j);
+  }
+  /// True when the memory constraint actually binds: a positive capacity
+  /// AND per-job footprints are both present.
+  bool memory_constrained() const {
+    return memory_capacity_ > 0 && !job_memory_.empty();
+  }
+  /// Smallest memory-feasible allotment of job j: ceil(mem_j / capacity),
+  /// at least 1. May exceed machines() — then NO allotment is feasible
+  /// and the instance is provably unschedulable (memory_lower_bound()
+  /// returns +inf). Returns 1 when the constraint does not bind.
+  procs_t min_feasible_allotment(std::size_t j) const;
+
   /// max_j t_j(m): every job needs at least this long even fully parallel.
   /// A valid makespan lower bound.
   double min_time_bound() const;
@@ -47,9 +79,18 @@ class Instance {
   /// Hence sum_j t_j(1) / m is the valid area bound.
   double area_bound() const;
 
-  /// max(min_time_bound, area_bound): cheap O(n) certified lower bound on
-  /// the optimal makespan. (The Ludwig-Tiwari estimator in core/ gives the
-  /// stronger bound omega >= this.)
+  /// Memory-aware area bound: sum_j w_j(kmin_j) / m where kmin_j is the
+  /// smallest memory-feasible allotment (work is monotone in k, so every
+  /// feasible schedule does at least this much work). Returns +inf when
+  /// some job's kmin exceeds m — no feasible schedule exists at all, which
+  /// is what makes `--shed` certificates on memory-tight instances proofs.
+  /// Returns 0 when the constraint does not bind.
+  double memory_lower_bound() const;
+
+  /// max(min_time_bound, area_bound, memory_lower_bound): cheap O(n)
+  /// certified lower bound on the optimal makespan. (The Ludwig-Tiwari
+  /// estimator in core/ gives the stronger bound omega >= the first two;
+  /// the memory bound is max-combined on top by memory-aware callers.)
   double trivial_lower_bound() const;
 
   /// Runs the sampled monotony validator on every job; returns the index of
@@ -62,6 +103,8 @@ class Instance {
   std::string name_;
   double arrival_ = 0;
   std::string sla_class_;
+  std::vector<double> job_memory_;  ///< empty = no footprints
+  double memory_capacity_ = 0;      ///< 0 = uncapped
 };
 
 }  // namespace moldable::jobs

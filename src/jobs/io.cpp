@@ -42,6 +42,18 @@ void write_instance(std::ostream& os, const Instance& instance) {
   // arrival is finite and >= 0, the class is a single token.)
   if (instance.arrival() != 0) os << "arrival " << instance.arrival() << "\n";
   if (!instance.sla_class().empty()) os << "class " << instance.sla_class() << "\n";
+  // The memory axis is additive metadata like the directives above: both
+  // lines are omitted at their defaults, so memory-free instances keep
+  // byte-identical output. (Instance validates the setters: capacity and
+  // footprints are finite and >= 0, one footprint per job.)
+  if (instance.memory_capacity() > 0)
+    os << "memcap " << instance.memory_capacity() << "\n";
+  if (instance.has_job_memory()) {
+    os << "mem " << instance.size();
+    for (std::size_t j = 0; j < instance.size(); ++j)
+      os << " " << instance.job_memory(j);
+    os << "\n";
+  }
   os << "machines " << instance.machines() << "\n";
   for (const Job& job : instance.jobs()) {
     const ProcessingTimeFunction& f = job.oracle();
@@ -103,7 +115,11 @@ Instance read_instance(std::istream& is, std::string default_name) {
   std::string instance_name = std::move(default_name);
   double arrival = 0;
   std::string sla_class;
+  double memory_capacity = 0;
+  std::vector<double> job_memory;
+  std::size_t mem_lineno = 0;  ///< where 'mem' appeared, for the count check
   bool saw_name = false, saw_arrival = false, saw_class = false;
+  bool saw_memcap = false, saw_mem = false;
   for (;;) {
     std::istringstream ds(mline);
     std::string kw;
@@ -126,6 +142,26 @@ Instance read_instance(std::istream& is, std::string default_name) {
       std::string junk;
       if (!(ds >> sla_class) || (ds >> junk))
         fail(lineno, "'class' needs exactly one token");
+    } else if (kw == "memcap") {
+      if (saw_memcap) fail(lineno, "duplicate 'memcap' directive");
+      saw_memcap = true;
+      std::string junk;
+      if (!(ds >> memory_capacity) || !std::isfinite(memory_capacity) ||
+          memory_capacity <= 0 || (ds >> junk))
+        fail(lineno, "'memcap' needs one finite value > 0");
+    } else if (kw == "mem") {
+      if (saw_mem) fail(lineno, "duplicate 'mem' directive");
+      saw_mem = true;
+      mem_lineno = lineno;
+      std::size_t count = 0;
+      if (!(ds >> count) || count == 0)
+        fail(lineno, "'mem' needs <count> then <count> values");
+      job_memory.resize(count);
+      for (double& v : job_memory)
+        if (!(ds >> v) || !std::isfinite(v) || v < 0)
+          fail(lineno, "'mem' values must be finite and >= 0");
+      std::string junk;
+      if (ds >> junk) fail(lineno, "'mem' has trailing junk after its values");
     } else {
       break;  // not a metadata directive; must be the machines line
     }
@@ -193,9 +229,14 @@ Instance read_instance(std::istream& is, std::string default_name) {
     js >> name;  // optional trailing name
     jv.emplace_back(std::move(f), m, name);
   }
+  if (!job_memory.empty() && job_memory.size() != jv.size())
+    fail(mem_lineno, "'mem' count " + std::to_string(job_memory.size()) +
+                         " does not match the job count " + std::to_string(jv.size()));
   Instance out(std::move(jv), m, std::move(instance_name));
-  out.set_arrival(arrival);          // both validated at parse time above,
+  out.set_arrival(arrival);          // all validated at parse time above,
   out.set_sla_class(sla_class);      // so these cannot throw here
+  out.set_memory_capacity(memory_capacity);
+  out.set_job_memory(std::move(job_memory));
   return out;
 }
 

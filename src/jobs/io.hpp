@@ -6,6 +6,8 @@
 //   name <instance name>                    (optional, rest of line)
 //   arrival <t>                             (optional, finite t >= 0)
 //   class <sla-class>                       (optional, single token)
+//   memcap <C>                              (optional, finite C > 0)
+//   mem <n> <m_1> ... <m_n>                 (optional, n == job count)
 //   machines <m>
 //   job amdahl   <t1> <fraction>            [name]
 //   job powerlaw <t1> <alpha>               [name]
@@ -18,13 +20,17 @@
 // encoding regime the paper's algorithms target. Table jobs are Theta(m)
 // by nature and require k == m.
 //
-// The `name`, `arrival`, and `class` directives are additive, optional
-// extensions of v1: files without them parse exactly as before, so the
-// version token is unchanged; readers predating a directive reject files
-// that use it. The metadata directives may appear in any order between the
-// header and the `machines` line, at most once each. `arrival` (a
-// submission timestamp in arbitrary units) and `class` (an SLA class label)
-// carry serving metadata for the stream layer — the algorithms ignore both.
+// The `name`, `arrival`, `class`, `memcap`, and `mem` directives are
+// additive, optional extensions of v1: files without them parse exactly as
+// before, so the version token is unchanged; readers predating a directive
+// reject files that use it. The metadata directives may appear in any order
+// between the header and the `machines` line, at most once each. `arrival`
+// (a submission timestamp in arbitrary units) and `class` (an SLA class
+// label) carry serving metadata for the stream layer — the algorithms
+// ignore both. `memcap` (per-machine memory capacity) and `mem` (one
+// footprint per job, count-prefixed) open the memory axis: together they
+// constrain job j to allotments k with m_j <= k * C, and only
+// memory-aware solver variants accept such instances.
 #pragma once
 
 #include <cstdint>

@@ -112,6 +112,8 @@ std::string encode(const SummaryFrame& f) {
   put_u64(p, f.results);
   put_u64(p, f.solved);
   put_u64(p, f.failed);
+  put_u64(p, f.shed);
+  put_u64(p, f.down_shifted);
   return encode_frame(FrameType::kSummary, p);
 }
 
@@ -156,6 +158,8 @@ SummaryFrame decode_summary(const Frame& frame) {
   f.results = r.u64();
   f.solved = r.u64();
   f.failed = r.u64();
+  f.shed = r.u64();
+  f.down_shifted = r.u64();
   r.done();
   return f;
 }

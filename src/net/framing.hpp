@@ -10,7 +10,13 @@
 //            f64 queue-seconds, f64 compute-seconds
 //   REJECT   u64 session-id (0 pre-admission), reason text
 //   SUMMARY  u64 session-id, u64 records, malformed, results, solved,
-//            failed                               — last frame before close
+//            failed, shed, down_shifted           — last frame before close
+//
+// Layout bump (v2 of the SUMMARY payload, 48 -> 64 bytes): the `shed` and
+// `down_shifted` counters were appended so per-session policy decisions are
+// visible on the wire. Decoders predating the bump reject the longer
+// payload (done() enforces the exact size) — deliberate: a counter-blind
+// client silently under-reporting sheds is worse than a loud decode error.
 //
 // REJECT reason grammar: the first whitespace-delimited token (any trailing
 // ':' stripped) is a stable machine-readable code; the rest is key=value
@@ -90,6 +96,14 @@ struct SummaryFrame {
   std::uint64_t results = 0;    ///< result frames sent back
   std::uint64_t solved = 0;
   std::uint64_t failed = 0;
+  /// Records refused by the admission policy's certificate (each also got a
+  /// per-record "shed" REJECT frame). records == results + shed on a
+  /// completed session.
+  std::uint64_t shed = 0;
+  /// Admitted records served single-lane by the lateness down-shift rule.
+  /// These still produce RESULT frames — the counter is observability, not
+  /// part of the records/results balance.
+  std::uint64_t down_shifted = 0;
 };
 
 /// Wire encoding: length prefix + type byte + payload.

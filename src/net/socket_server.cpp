@@ -198,6 +198,8 @@ void SocketServer::maybe_complete_session(Session& session) {
   summary.results = session.tally.results;
   summary.solved = session.tally.solved;
   summary.failed = session.tally.failed;
+  summary.shed = session.tally.shed;
+  summary.down_shifted = session.tally.down_shifted;
   enqueue_frame(session, encode(summary));
   session.summary_sent = true;
   session.close_after_drain = true;
@@ -273,6 +275,14 @@ void SocketServer::publish_shed(std::size_t index, std::uint64_t tag,
   maybe_complete_session(session);
 }
 
+void SocketServer::note_downshift(std::uint64_t tag) {
+  if (tag == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tag > sessions_.size()) return;  // unknown tag (e.g. a replayed stream)
+  ++sessions_[tag - 1]->tally.down_shifted;
+  ++totals_.down_shifted;
+}
+
 void SocketServer::shutdown() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (stop_accepting_) return;
@@ -304,6 +314,8 @@ void SocketServer::finish() {
         summary.results = session->tally.results;
         summary.solved = session->tally.solved;
         summary.failed = session->tally.failed;
+        summary.shed = session->tally.shed;
+        summary.down_shifted = session->tally.down_shifted;
         enqueue_frame(*session, encode(summary));
         session->summary_sent = true;
       }

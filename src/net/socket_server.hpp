@@ -107,6 +107,10 @@ struct SessionCounters {
   /// certificate-backed refusals — the session itself stays admitted; every
   /// shed record counts toward its completion like a result).
   std::size_t shed = 0;
+  /// Admitted records served single-lane by the lateness down-shift rule.
+  /// Observability only: a down-shifted record still produces a RESULT
+  /// frame, so this never enters the results+shed==records completion test.
+  std::size_t down_shifted = 0;
   bool write_failed = false;  ///< client vanished before its frames drained
 };
 
@@ -118,6 +122,7 @@ struct ServerCounters {
   std::size_t malformed = 0;
   std::size_t results = 0;
   std::size_t shed = 0;  ///< per-record shed REJECT frames (sessions stay up)
+  std::size_t down_shifted = 0;  ///< records served single-lane by down-shift
 };
 
 class SocketServer : public engine::InstanceSource {
@@ -153,6 +158,11 @@ class SocketServer : public engine::InstanceSource {
   /// client whose every record was shed still gets its SUMMARY and close.
   /// Unknown tags are ignored like publish().
   void publish_shed(std::size_t index, std::uint64_t tag, const std::string& reason);
+
+  /// Tallies one lateness down-shift for its session (no frame is sent —
+  /// the record's RESULT still follows via publish()). Call from
+  /// StreamConfig::on_downshift. Unknown tags are ignored like publish().
+  void note_downshift(std::uint64_t tag);
 
   /// Stops accepting new connections (idempotent). Existing sessions drain
   /// normally; next() returns false once they do.

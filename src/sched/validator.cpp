@@ -32,6 +32,20 @@ ValidationResult validate(const Schedule& s, const jobs::Instance& instance) {
          << " != t_j(" << a.procs << ") = " << expect;
       r.fail(ss.str());
     }
+    // Memory feasibility (V6): under the distributed-footprint model a job
+    // on k machines has m_j / k resident per machine, so the allotment is
+    // feasible iff m_j <= k * C.
+    if (instance.memory_constrained()) {
+      const double budget = static_cast<double>(a.procs) * instance.memory_capacity();
+      const double mem = instance.job_memory(a.job);
+      if (mem > budget * (1 + kRelTol)) {
+        std::ostringstream ss;
+        ss << "job " << a.job << ": memory overcommitted: footprint " << mem
+           << " > " << a.procs << " machine(s) x capacity "
+           << instance.memory_capacity();
+        r.fail(ss.str());
+      }
+    }
   }
   for (std::size_t j = 0; j < instance.size(); ++j) {
     if (seen[j] == 0) r.fail("job " + std::to_string(j) + " is unscheduled");

@@ -84,6 +84,12 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config)
           "traffic: the table family refuses machines > 8192 (Theta(m) per job)");
   if (config_.classes.empty())
     throw std::invalid_argument("traffic: need at least one SLA class share");
+  if (config_.memory_capacity < 0 || !std::isfinite(config_.memory_capacity))
+    throw std::invalid_argument("traffic: memory capacity must be finite and >= 0");
+  if (config_.memory_capacity > 0 &&
+      (!(config_.mem_min > 0) || !(config_.mem_max >= config_.mem_min) ||
+       !std::isfinite(config_.mem_max)))
+    throw std::invalid_argument("traffic: memory range needs 0 < mem-min <= mem-max");
   total_weight_ = 0;
   for (ClassShare& share : config_.classes) {
     if (share.name == "default") share.name.clear();  // the unlabelled class
@@ -110,12 +116,19 @@ std::size_t for_each_instance(const TrafficConfig& config, const RateCurve& curv
                           jobs::derive_seed(config.seed, kArrivals));
   util::Prng assign(jobs::derive_seed(config.seed, kAssign));
 
+  // The WHAT layer's generator knobs: the memory axis rides through to
+  // every make_instance call (the fixed duplicate included).
+  jobs::GeneratorConfig gen_cfg;
+  gen_cfg.memory_capacity = config.memory_capacity;
+  gen_cfg.mem_min = config.mem_min;
+  gen_cfg.mem_max = config.mem_max;
+
   // The fixed duplicate record: the same bytes on every repeat (a constant
   // arrival stamp included — the serve-mode memo key covers the canonical
   // record text, so any varying byte would defeat the hit path).
   jobs::Instance duplicate = jobs::make_instance(
       config.families.front(), config.jobs_min, config.machines,
-      jobs::derive_seed(config.seed, kDuplicate));
+      jobs::derive_seed(config.seed, kDuplicate), gen_cfg);
   duplicate.set_sla_class(config.classes.front().name);
 
   std::size_t count = 0;
@@ -151,7 +164,8 @@ std::size_t for_each_instance(const TrafficConfig& config, const RateCurve& curv
     const jobs::Family family = config.families[static_cast<std::size_t>(
         assign.uniform_int(0, static_cast<std::int64_t>(config.families.size()) - 1))];
     jobs::Instance inst = jobs::make_instance(
-        family, n, config.machines, jobs::derive_seed(config.seed, kInstance + i));
+        family, n, config.machines, jobs::derive_seed(config.seed, kInstance + i),
+        gen_cfg);
     inst.set_arrival(t);
     inst.set_sla_class(sla_class);
     emit(inst);
@@ -184,6 +198,10 @@ TrafficSummary TrafficGenerator::write(std::ostream& os) const {
   if (config_.max_arrivals != 0) os << "# max-arrivals " << config_.max_arrivals << "\n";
   if (config_.duplicate_every != 0)
     os << "# duplicate-every " << config_.duplicate_every << "\n";
+  if (config_.memory_capacity > 0)
+    os << "# memory cap=" << fmt_num(config_.memory_capacity)
+       << " min=" << fmt_num(config_.mem_min) << " max=" << fmt_num(config_.mem_max)
+       << "\n";
 
   TrafficSummary summary;
   summary.stream_digest = engine::detail::kFnvOffsetBasis;

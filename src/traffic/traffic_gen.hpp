@@ -65,6 +65,14 @@ struct TrafficConfig {
   /// arrival stamp aside) — the duplicate path that keeps serve-mode
   /// memoization exercised; 0 = no duplicates.
   std::size_t duplicate_every = 0;
+  /// Memory axis (off by default): when memory_capacity > 0 every emitted
+  /// record — the fixed duplicate included — carries a `memcap` directive
+  /// and per-job `mem` footprints drawn log-uniformly from
+  /// [mem_min, mem_max] (GeneratorConfig pass-through), so storms exercise
+  /// the capability gate and memory-tight shedding end to end.
+  double memory_capacity = 0;  ///< per-machine capacity; 0 = memory-free storm
+  double mem_min = 1.0;        ///< smallest job footprint (log-uniform)
+  double mem_max = 1.0;        ///< largest job footprint
 };
 
 /// What a generation run produced (also written as the trailer comment).

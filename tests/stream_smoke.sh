@@ -39,7 +39,16 @@
 #            learned `priors:` table state are bitwise identical at 1 vs 4
 #            threads — then records a live 4-thread session and replays it
 #            on 1 thread, certifying the shed set is re-derived bit-exact
-#            from the record file. Runs under both sanitizer CI legs.
+#            from the record file. A second leg runs the same storm with a
+#            memory axis (--memcap 1 on 4 machines, footprints log-uniform
+#            up to 16) over the socket path: arrivals with mem > 4 are
+#            provably unschedulable (kmin > m, certified lower bound +inf)
+#            and MUST shed with a certificate-backed REJECT whose total
+#            lands in the extended SUMMARY frame — traffic_gen --connect
+#            exits nonzero unless the SUMMARY shed counter matches the
+#            REJECT frames it saw — and the recorded memory-constrained
+#            session must replay bit-exact on 1 thread. Runs under both
+#            sanitizer CI legs.
 #   storm  — the full acceptance pipeline: a >=10000-arrival flash-crowd
 #            storm recorded while served live at --threads 4 --race under
 #            the production configuration (racing portfolio, LRU memo,
@@ -59,6 +68,11 @@
 #            merge layer adds no new determinism obligations. The server
 #            binds port 0 and publishes the kernel-chosen port through
 #            --port-file, so concurrent `ctest -j` runs cannot collide.
+#   cli    — the numeric-parsing regression guard: every malformed numeric
+#            flag value (and a NaN/inf/negative --deadline budget) must
+#            exit 2 with a diagnostic naming the offending flag — never an
+#            uncaught std::invalid_argument abort — on both batch_service
+#            and traffic_gen, while the well-formed spellings still parse.
 set -eu
 
 bin=$1
@@ -124,7 +138,13 @@ shed_soak)
     tmp=${TMPDIR:-/tmp}
     stream=$tmp/shed_soak_$$.txt
     record=$tmp/shed_soak_$$.rec
-    trap 'rm -f "$stream" "$record"' EXIT
+    memrecord=$tmp/shed_soak_$$.memrec
+    portfile=$tmp/shed_soak_$$.port
+    serverlog=$tmp/shed_soak_$$.log
+    server=
+    # SIGKILL for the same reason as listen_soak: under --listen SIGTERM
+    # means "drain", which on a failure path would wait forever.
+    trap 'if [ -n "${server:-}" ]; then kill -9 "$server" 2>/dev/null || true; fi; rm -f "$stream" "$record" "$memrecord" "$portfile" "$serverlog"' EXIT
     # Jobs 1-6 on 4 machines put the certified lower bounds on both sides
     # of deadline 8 — the storm MUST shed some arrivals and serve others,
     # or the mode certifies nothing (asserted below).
@@ -275,8 +295,70 @@ listen_soak)
     echo "stream_smoke (listen_soak) OK: 4 sessions x 2600 arrivals; $dlive; replay matched on 1 thread"
     exit 0
     ;;
+cli)
+    need_traffic_gen
+    # Regression guard for the numeric CLI hardening: a malformed value must
+    # exit 2 with a diagnostic that names the flag, not abort on an uncaught
+    # std::invalid_argument from stoull/stod.
+    expect_cli_error() {
+        tool=$1
+        needle=$2
+        shift 2
+        set +e
+        err=$("$tool" "$@" 2>&1 >/dev/null)
+        status=$?
+        set -e
+        if [ "$status" -ne 2 ]; then
+            echo "stream_smoke (cli): '$*' expected exit 2, got $status" >&2
+            printf '%s\n' "$err" >&2
+            exit 1
+        fi
+        case $err in
+        *"$needle"*) ;;
+        *)
+            echo "stream_smoke (cli): '$*' diagnostic does not name the flag (wanted '$needle'):" >&2
+            printf '%s\n' "$err" >&2
+            exit 1
+            ;;
+        esac
+    }
+
+    expect_cli_error "$bin" "--instances needs a non-negative integer" --instances banana
+    expect_cli_error "$bin" "--jobs needs a non-negative integer" --jobs 4x
+    expect_cli_error "$bin" "--machines needs a non-negative integer" --machines ''
+    expect_cli_error "$bin" "--seed needs a non-negative integer" --seed -5
+    expect_cli_error "$bin" "--threads needs a non-negative integer" --threads 1.5
+    expect_cli_error "$bin" "--window needs a non-negative integer" --window 16x
+    expect_cli_error "$bin" "--memo-capacity needs a non-negative integer" --memo-capacity 64k
+    expect_cli_error "$bin" "--eps needs a number" --eps nope
+    # --deadline budgets additionally reject NaN/inf/negative seconds: a
+    # non-finite or negative budget is not a deadline, it is a parse bug.
+    expect_cli_error "$bin" "--deadline SECONDS must be finite and non-negative" \
+        --serve --shed --deadline interactive=nan
+    expect_cli_error "$bin" "--deadline SECONDS must be finite and non-negative" \
+        --serve --shed --deadline interactive=inf
+    expect_cli_error "$bin" "--deadline SECONDS must be finite and non-negative" \
+        --serve --shed --deadline interactive=-1
+    expect_cli_error "$bin" "--deadline needs a number" --serve --deadline interactive=soon
+
+    expect_cli_error "$traffic_gen" "--max-arrivals needs a non-negative integer" --max-arrivals many
+    expect_cli_error "$traffic_gen" "--seed needs a non-negative integer" --seed 0x7
+    expect_cli_error "$traffic_gen" "--horizon needs a number" --horizon 'twelve'
+    expect_cli_error "$traffic_gen" "--memcap needs a number" --memcap wat
+    expect_cli_error "$traffic_gen" "--mem-min needs a number" --mem-min ''
+    expect_cli_error "$traffic_gen" "--mem-max needs a number" --mem-max 4GiB
+
+    # The well-formed spellings still parse (the engine separately requires
+    # deadlines > 0, so 0.5 is the smallest shape tested here), and the
+    # memory flags accept the documented range.
+    "$bin" --serve --shed --deadline interactive=0.5 --deadline batch=8.5 < /dev/null > /dev/null
+    "$traffic_gen" --curve flash --seed 3 --horizon 5 --max-arrivals 5 \
+                   --machines 4 --memcap 1 --mem-min 0.25 --mem-max 16 > /dev/null
+    echo "stream_smoke (cli) OK: malformed numerics exit 2 with named diagnostics"
+    exit 0
+    ;;
 *)
-    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, race_soak, storm, or listen_soak)" >&2
+    echo "stream_smoke.sh: unknown mode '$mode' (want smoke, soak, race_soak, shed_soak, storm, listen_soak, or cli)" >&2
     exit 2
     ;;
 esac
@@ -396,6 +478,66 @@ if [ "$mode" = shed_soak ]; then
         exit 1
         ;;
     esac
-    echo "stream_smoke (shed_soak) OK: $p1 (threads 1 == threads 4; recorded shed session replayed bit-exact)"
+    # The memory-axis leg, over the socket path so the extended SUMMARY
+    # frame is on the wire: capacity 1 per machine x 4 machines against
+    # footprints log-uniform on [0.25, 16] means arrivals with mem > 4 are
+    # provably unschedulable — ceil(mem/C) machines needed, only 4 exist,
+    # so the certified lower bound is +inf and --shed MUST refuse them with
+    # a certificate-backed REJECT. The feasible rest serve through the
+    # memory-aware greedy (--algorithm mem-greedy; the default portfolio
+    # variants are memory-blind and would fail closed). traffic_gen
+    # --connect exits nonzero unless the SUMMARY's shed counter equals the
+    # per-record REJECT frames it saw and every arrival was answered.
+    "$bin" --listen 127.0.0.1:0 --port-file "$portfile" --listen-sessions 1 \
+           --threads 4 --algorithm mem-greedy --shed --deadline interactive=8 \
+           --memo --memo-capacity 64 --window 16 --max-inflight 4 \
+           --record "$memrecord" > "$serverlog" 2>&1 &
+    server=$!
+    i=0
+    while [ ! -s "$portfile" ]; do
+        if ! kill -0 "$server" 2>/dev/null; then
+            echo "stream_smoke (shed_soak): memory-leg server exited before publishing its port:" >&2
+            cat "$serverlog" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "stream_smoke (shed_soak): memory-leg server never published its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    port=$(cat "$portfile")
+    if ! "$traffic_gen" --curve flash --seed 7 --horizon 40 --max-arrivals 600 \
+                        --jobs-min 1 --jobs-cap 6 --machines 4 \
+                        --classes interactive=1 \
+                        --memcap 1 --mem-min 0.25 --mem-max 16 \
+                        --connect "127.0.0.1:$port"; then
+        echo "stream_smoke (shed_soak): memory-tight client failed its round trip:" >&2
+        cat "$serverlog" >&2
+        exit 1
+    fi
+    if ! wait "$server"; then
+        echo "stream_smoke (shed_soak): memory-leg server exited nonzero:" >&2
+        cat "$serverlog" >&2
+        exit 1
+    fi
+    server=
+    # The session totals must show certificate-backed sheds — a memory
+    # storm in which nothing sheds certifies nothing about the axis.
+    if ! grep -q 'record(s) shed' "$serverlog"; then
+        echo "stream_smoke (shed_soak): memory-tight storm shed nothing:" >&2
+        grep '^sessions:' "$serverlog" >&2 || cat "$serverlog" >&2
+        exit 1
+    fi
+    mshed=$(grep '^sessions:' "$serverlog" || true)
+    # And the recorded memory-constrained session replays bit-exact on 1
+    # thread: mem/memcap round-trip through the record file and the shed
+    # set (including the memory-infeasible refusals) is re-derived.
+    if ! "$bin" --replay "$memrecord" --threads 1 > /dev/null; then
+        echo "stream_smoke (shed_soak): memory-leg replay diverged from the recorded serve" >&2
+        exit 1
+    fi
+    echo "stream_smoke (shed_soak) OK: $p1 (threads 1 == threads 4; recorded shed session replayed bit-exact; memory leg: $mshed)"
 fi
 echo "stream_smoke ($mode) OK: $d1, $m1 (threads 1 == threads 4)"

@@ -1,6 +1,9 @@
 // Tests for the baseline schedulers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+
 #include "src/core/baselines.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/sched/validator.hpp"
@@ -50,6 +53,46 @@ TEST(Baselines, EmptyInstances) {
   EXPECT_TRUE(ludwig_tiwari_schedule(inst).schedule.empty());
   EXPECT_TRUE(sequential_schedule(inst).schedule.empty());
   EXPECT_TRUE(equal_share_schedule(inst).schedule.empty());
+}
+
+TEST(MemoryGreedy, MatchesLtOnMemoryFreeInstances) {
+  for (Family fam : {Family::kAmdahl, Family::kPowerLaw, Family::kMixed}) {
+    const Instance inst = make_instance(fam, 24, 128, 13);
+    const BaselineResult lt = ludwig_tiwari_schedule(inst);
+    const BaselineResult mg = memory_greedy_schedule(inst);
+    EXPECT_DOUBLE_EQ(mg.schedule.makespan(), lt.schedule.makespan())
+        << jobs::family_name(fam);
+    EXPECT_DOUBLE_EQ(mg.lower_bound, lt.lower_bound) << jobs::family_name(fam);
+  }
+}
+
+TEST(MemoryGreedy, RespectsTheMemoryConstraint) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Instance inst = make_instance(Family::kMixed, 12, 32, seed);
+    inst.set_memory_capacity(2.0);
+    std::vector<double> mem(inst.size());
+    for (std::size_t j = 0; j < mem.size(); ++j)
+      mem[j] = 0.5 + static_cast<double>((j * 7 + seed) % 12);  // kmin up to 7
+    inst.set_job_memory(std::move(mem));
+
+    const BaselineResult r = memory_greedy_schedule(inst);
+    const sched::ValidationResult v = sched::validate(r.schedule, inst);
+    ASSERT_TRUE(v.ok) << "seed=" << seed
+                      << (v.errors.empty() ? "" : ": " + v.errors.front());
+    // Every allotment is at or above the job's minimum feasible width.
+    for (const auto& a : r.schedule.assignments())
+      EXPECT_GE(a.procs, inst.min_feasible_allotment(a.job)) << seed;
+    // The reported bound folds the memory-aware area bound in.
+    EXPECT_GE(r.lower_bound, inst.memory_lower_bound() * (1 - 1e-9)) << seed;
+    EXPECT_GE(r.schedule.makespan(), r.lower_bound * (1 - 1e-9)) << seed;
+  }
+}
+
+TEST(MemoryGreedy, ThrowsOnProvablyInfeasibleFootprints) {
+  Instance inst = make_instance(Family::kAmdahl, 2, 4, 1);
+  inst.set_memory_capacity(1.0);
+  inst.set_job_memory({5.0, 0.5});  // job 0 needs 5 machines, only 4 exist
+  EXPECT_THROW(memory_greedy_schedule(inst), std::invalid_argument);
 }
 
 TEST(Baselines, LtBeatsNaiveOnParallelWork) {

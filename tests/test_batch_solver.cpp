@@ -29,12 +29,91 @@ TEST(Registry, ListsEveryBuiltinVariant) {
   const auto names = AlgorithmRegistry::global().names();
   for (const char* expected :
        {"auto", "fptas", "mrt", "algorithm1", "algorithm3", "algorithm3-linear",
-        "lt-2approx", "ptas", "exact"}) {
+        "lt-2approx", "mem-exact", "mem-greedy", "ptas", "exact"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing builtin: " << expected;
   }
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 11u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CapabilityFlagsMarkTheMemoryAwareVariants) {
+  const AlgorithmRegistry& r = AlgorithmRegistry::global();
+  EXPECT_TRUE(r.memory_aware("mem-greedy"));
+  EXPECT_TRUE(r.memory_aware("mem-exact"));
+  for (const char* blind :
+       {"auto", "fptas", "mrt", "algorithm1", "algorithm3", "algorithm3-linear",
+        "lt-2approx", "ptas", "exact"})
+    EXPECT_FALSE(r.memory_aware(blind)) << blind;
+  EXPECT_THROW(r.caps("no-such-solver"), std::invalid_argument);
+}
+
+Instance memory_capped_instance(std::uint64_t seed = 5, double capacity = 4.0) {
+  Instance inst = make_instance(Family::kAmdahl, 4, 8, seed);
+  inst.set_memory_capacity(capacity);
+  inst.set_job_memory({10.0, 1.0, 6.0, 3.0});  // kmin = {3, 1, 2, 1}
+  return inst;
+}
+
+TEST(Registry, MemoryBlindVariantsFailClosedOnMemoryCappedInstances) {
+  const Instance capped = memory_capped_instance();
+  // Every memory-blind builtin refuses with the named capability error …
+  try {
+    AlgorithmRegistry::global().solve("lt-2approx", capped, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("capability:"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("lt-2approx"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(AlgorithmRegistry::global().solve("auto", capped, {}),
+               std::invalid_argument);
+  // … while the memory-aware variants solve it, and every builtin still
+  // solves the same instance with the memory axis stripped.
+  SolverConfig config;
+  config.eps = 0.5;
+  for (const char* aware : {"mem-greedy", "mem-exact"}) {
+    const core::ScheduleResult r =
+        AlgorithmRegistry::global().solve(aware, capped, config);
+    EXPECT_GT(r.makespan, 0) << aware;
+  }
+  const Instance plain = make_instance(Family::kAmdahl, 4, 8, 5);
+  EXPECT_NO_THROW(AlgorithmRegistry::global().solve("lt-2approx", plain, config));
+}
+
+TEST(BatchSolver, CapabilityErrorIsIsolatedPerInstance) {
+  // A memory-capped instance routed to a blind variant yields the named
+  // capability error on that slot alone — the batch itself never aborts.
+  std::vector<Instance> batch = small_batch(2, 8);
+  batch.insert(batch.begin() + 1, memory_capped_instance());
+  BatchConfig config;
+  config.algorithm = "lt-2approx";
+  const BatchResult r = BatchSolver().solve(batch, config);
+  EXPECT_EQ(r.solved, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_TRUE(r.outcomes[0].ok);
+  ASSERT_FALSE(r.outcomes[1].ok);
+  EXPECT_NE(r.outcomes[1].error.find("capability:"), std::string::npos)
+      << r.outcomes[1].error;
+  EXPECT_TRUE(r.outcomes[2].ok);
+}
+
+TEST(BatchSolver, MemoryAwareBatchIsDeterministicAcrossThreadCounts) {
+  std::vector<Instance> batch;
+  for (std::size_t i = 0; i < 12; ++i) batch.push_back(memory_capped_instance(50 + i));
+  for (const char* algorithm : {"mem-greedy", "mem-exact"}) {
+    BatchConfig serial;
+    serial.algorithm = algorithm;
+    serial.eps = 0.5;
+    serial.threads = 1;
+    BatchConfig parallel = serial;
+    parallel.threads = 4;
+    const BatchResult a = BatchSolver().solve(batch, serial);
+    const BatchResult b = BatchSolver().solve(batch, parallel);
+    EXPECT_EQ(a.failed, 0u) << algorithm;
+    EXPECT_EQ(a.digest(), b.digest()) << algorithm;
+  }
 }
 
 TEST(Registry, SolvesUnderEveryBuiltinName) {

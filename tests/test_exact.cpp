@@ -1,6 +1,10 @@
 // Tests for the exact reference solver.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/core/baselines.hpp"
 #include "src/core/exact.hpp"
 #include "src/jobs/generators.hpp"
 #include "src/sched/list_scheduler.hpp"
@@ -76,6 +80,37 @@ TEST(Exact, BudgetExhaustionReturnsNullopt) {
   ExactLimits tiny;
   tiny.node_budget = 10;
   EXPECT_FALSE(solve_exact(inst, tiny).has_value());
+}
+
+TEST(Exact, MemoryConstraintNarrowsTheSearchSpace) {
+  // A footprint forcing kmin = 3 on m = 4: every feasible schedule runs job
+  // 0 on >= 3 machines, so the exact optimum can only rise vs the
+  // memory-free relaxation — and must still validate under (V6).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Instance inst = make_instance(Family::kMixed, 5, 4, seed + 3);
+    const auto relaxed = solve_exact(inst);
+    ASSERT_TRUE(relaxed.has_value());
+    inst.set_memory_capacity(2.0);
+    inst.set_job_memory({5.0, 1.0, 3.0, 0.5, 2.0});  // kmin = {3, 1, 2, 1, 1}
+    const auto r = solve_exact(inst);
+    ASSERT_TRUE(r.has_value()) << seed;
+    const sched::ValidationResult v = sched::validate(r->schedule, inst);
+    ASSERT_TRUE(v.ok) << "seed=" << seed
+                      << (v.errors.empty() ? "" : ": " + v.errors.front());
+    EXPECT_GE(r->makespan, relaxed->makespan * (1 - 1e-9)) << seed;
+    for (const auto& a : r->schedule.assignments())
+      EXPECT_GE(a.procs, inst.min_feasible_allotment(a.job)) << seed;
+    // Memory-aware optimum beats or matches the memory-aware greedy.
+    const BaselineResult greedy = memory_greedy_schedule(inst);
+    EXPECT_LE(r->makespan, greedy.schedule.makespan() * (1 + 1e-9)) << seed;
+  }
+}
+
+TEST(Exact, ThrowsOnMemoryInfeasibleJob) {
+  Instance inst = make_instance(Family::kAmdahl, 3, 4, 1);
+  inst.set_memory_capacity(1.0);
+  inst.set_job_memory({6.0, 0.5, 0.5});  // job 0 needs 6 machines, only 4
+  EXPECT_THROW(solve_exact(inst), std::invalid_argument);
 }
 
 TEST(Exact, EmptyInstance) {

@@ -380,6 +380,72 @@ TEST(Io, LoadDirRejectsMissingOrNonDirectory) {
   std::remove(file.c_str());
 }
 
+TEST(Io, MemoryAxisRoundTripsByteExactly) {
+  Instance inst = make_instance(Family::kAmdahl, 4, 64, 5);
+  inst.set_memory_capacity(16.0);
+  inst.set_job_memory({1.5, 32.0, 0.25, 4.0});
+  const Instance back = from_text(to_text(inst));
+  expect_equivalent(inst, back);
+  EXPECT_DOUBLE_EQ(back.memory_capacity(), 16.0);
+  ASSERT_TRUE(back.has_job_memory());
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    EXPECT_DOUBLE_EQ(back.job_memory(j), inst.job_memory(j)) << "j=" << j;
+  EXPECT_TRUE(back.memory_constrained());
+  // The written form is the round trip's fixed point, memory included.
+  EXPECT_EQ(to_text(back), to_text(inst));
+  // Memory-free instances omit both directives: legacy files byte-identical.
+  const Instance plain = make_instance(Family::kAmdahl, 4, 64, 5);
+  EXPECT_EQ(to_text(plain).find("memcap"), std::string::npos);
+  EXPECT_EQ(to_text(plain).find("mem "), std::string::npos);
+}
+
+TEST(Io, MemoryDirectivesAreValidated) {
+  const auto bad = [](const std::string& directive) {
+    return "moldable-instance v1\n" + directive + "\nmachines 4\njob amdahl 1 0.5\n";
+  };
+  EXPECT_THROW(from_text(bad("memcap")), std::invalid_argument);       // no value
+  EXPECT_THROW(from_text(bad("memcap 0")), std::invalid_argument);     // not > 0
+  EXPECT_THROW(from_text(bad("memcap -2")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("memcap inf")), std::invalid_argument);   // non-finite
+  EXPECT_THROW(from_text(bad("memcap nan")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("memcap 1 2")), std::invalid_argument);   // trailing junk
+  EXPECT_THROW(from_text(bad("memcap 1\nmemcap 2")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("mem 1 2\nmem 1 2")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("mem 2 1")), std::invalid_argument);      // short list
+  EXPECT_THROW(from_text(bad("mem 1 1 5")), std::invalid_argument);    // trailing junk
+  EXPECT_THROW(from_text(bad("mem 1 inf")), std::invalid_argument);    // non-finite
+  EXPECT_THROW(from_text(bad("mem 1 nan")), std::invalid_argument);
+  EXPECT_THROW(from_text(bad("mem 1 -3")), std::invalid_argument);     // negative
+  // A 'mem' count disagreeing with the job list is caught at end of parse,
+  // and the diagnostic points at the 'mem' line.
+  try {
+    from_text(bad("mem 3 1 1 1"));  // 3 footprints, 1 job
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Io, MemorySettersValidate) {
+  Instance inst = make_instance(Family::kAmdahl, 3, 16, 1);
+  EXPECT_THROW(inst.set_memory_capacity(-1.0), std::invalid_argument);
+  EXPECT_THROW(inst.set_memory_capacity(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(inst.set_memory_capacity(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(inst.set_job_memory({1.0, 2.0}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(inst.set_job_memory({1.0, -2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(
+      inst.set_job_memory({1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}),
+      std::invalid_argument);
+  inst.set_memory_capacity(8.0);
+  inst.set_job_memory({1.0, 2.0, 3.0});
+  EXPECT_TRUE(inst.memory_constrained());
+  // Capacity 0 un-caps: footprints alone do not bind.
+  inst.set_memory_capacity(0.0);
+  EXPECT_FALSE(inst.memory_constrained());
+}
+
 TEST(Io, RigidJobsRoundTrip) {
   std::vector<Job> jv;
   jv.emplace_back(std::make_shared<RigidStepTime>(3.0, 2, 1e6), 8, "rigid0");

@@ -42,7 +42,7 @@ TEST(Framing, RoundTripsEveryFrameType) {
   const WelcomeFrame welcome{42};
   const ResultFrame result{42, 1337, true, 0.25, 1.5};
   const RejectFrame reject{0, "session-cap: 4 concurrent sessions already admitted"};
-  const SummaryFrame summary{42, 100, 3, 100, 97, 3};
+  const SummaryFrame summary{42, 100, 3, 95, 93, 2, 5, 4};
 
   FrameDecoder decoder;
   decoder.feed(encode(welcome));
@@ -72,9 +72,11 @@ TEST(Framing, RoundTripsEveryFrameType) {
   EXPECT_EQ(s.session, 42u);
   EXPECT_EQ(s.records, 100u);
   EXPECT_EQ(s.malformed, 3u);
-  EXPECT_EQ(s.results, 100u);
-  EXPECT_EQ(s.solved, 97u);
-  EXPECT_EQ(s.failed, 3u);
+  EXPECT_EQ(s.results, 95u);
+  EXPECT_EQ(s.solved, 93u);
+  EXPECT_EQ(s.failed, 2u);
+  EXPECT_EQ(s.shed, 5u);
+  EXPECT_EQ(s.down_shifted, 4u);
 
   EXPECT_FALSE(decoder.next(frame));
   EXPECT_FALSE(decoder.failed());
@@ -162,6 +164,18 @@ TEST(Framing, TypedDecodersRejectWrongTypeAndSize) {
   EXPECT_NO_THROW(decode_welcome(frame));
   frame.payload += 'x';  // right type, corrupt size
   EXPECT_THROW(decode_welcome(frame), std::runtime_error);
+}
+
+TEST(Framing, OldSummaryLayoutIsLoudlyRejected) {
+  // The v2 SUMMARY payload grew 48 -> 64 bytes (shed, down_shifted). A
+  // counter-blind peer speaking the old layout must fail the exact-size
+  // check, never silently decode with the tail counters zeroed.
+  Frame frame;
+  frame.type = FrameType::kSummary;
+  frame.payload.assign(48, '\0');
+  EXPECT_THROW(decode_summary(frame), std::runtime_error);
+  frame.payload.assign(64, '\0');
+  EXPECT_NO_THROW(decode_summary(frame));
 }
 
 // --------------------------------------------------------------- watch-dir --
@@ -530,6 +544,45 @@ TEST(SocketServer, MidRecordDisconnectIsIsolatedAsMalformed) {
   EXPECT_EQ(sessions[0].malformed, 1u);
 }
 
+TEST(SocketServer, SummaryCarriesShedAndDownshiftCounters) {
+  // Drive the result-routing surface by hand: one record down-shifted then
+  // served, one shed — the client's SUMMARY and the server tallies must
+  // carry both counters, and unknown tags must be ignored.
+  SocketServer server(loopback_config(1));
+  server.start();
+  ClientOutcome out;
+  std::thread client([&] { out = run_client(server.port(), client_storm(5, 2)); });
+
+  jobs::StreamRecord a, b;
+  ASSERT_TRUE(next_data(server, a));
+  ASSERT_TRUE(next_data(server, b));
+  server.note_downshift(a.tag);
+  server.note_downshift(999);  // unknown tag: ignored, like publish()
+  server.note_downshift(0);    // tag 0 ("no session"): ignored
+  server.publish(0, a.tag, true, 0.0, 0.0);
+  server.publish_shed(1, b.tag, "shed index=1 class=default omega=2 budget=1");
+
+  jobs::StreamRecord rest;
+  EXPECT_FALSE(next_data(server, rest));
+  client.join();
+  server.finish();
+
+  ASSERT_TRUE(out.summary_seen);
+  EXPECT_EQ(out.summary.records, 2u);
+  EXPECT_EQ(out.summary.results, 1u);
+  EXPECT_EQ(out.summary.shed, 1u);
+  EXPECT_EQ(out.summary.down_shifted, 1u);
+  EXPECT_TRUE(out.rejected);  // the shed REJECT, with its certificate text
+  EXPECT_EQ(out.reject_reason.rfind("shed ", 0), 0u) << out.reject_reason;
+
+  const auto sessions = server.session_counters();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].shed, 1u);
+  EXPECT_EQ(sessions[0].down_shifted, 1u);
+  EXPECT_EQ(server.counters().shed, 1u);
+  EXPECT_EQ(server.counters().down_shifted, 1u);
+}
+
 TEST(SocketServer, MultiClientStormRecordsAndReplaysBitExact) {
   // The tentpole contract end to end: N concurrent clients storm one serve
   // loop; every client gets exactly its results back; the recorded merged
@@ -577,14 +630,22 @@ TEST(SocketServer, MultiClientStormRecordsAndReplaysBitExact) {
     ASSERT_TRUE(c.summary_seen);
     EXPECT_EQ(c.summary.records, kPerClient);
     EXPECT_EQ(c.summary.results, kPerClient);
+    // No admission policy configured: the policy counters must stay zero,
+    // not pick up noise from the storm.
+    EXPECT_EQ(c.summary.shed, 0u);
+    EXPECT_EQ(c.summary.down_shifted, 0u);
   }
   const auto sessions = server.session_counters();
   ASSERT_EQ(sessions.size(), 3u);
   for (const SessionCounters& s : sessions) {
     EXPECT_EQ(s.records, kPerClient);
     EXPECT_EQ(s.results, kPerClient);
+    EXPECT_EQ(s.shed, 0u);
+    EXPECT_EQ(s.down_shifted, 0u);
     EXPECT_FALSE(s.write_failed);
   }
+  EXPECT_EQ(server.counters().shed, 0u);
+  EXPECT_EQ(server.counters().down_shifted, 0u);
 
   // The merged arrival order was decided by real socket interleaving — but
   // the record file pins it, so a serial replay must reproduce the session

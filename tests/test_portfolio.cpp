@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "src/engine/batch_solver.hpp"
@@ -210,6 +211,60 @@ TEST(PortfolioSolver, AllVariantsFailIsIsolatedToTheOffendingInstance) {
   EXPECT_EQ(r.outcomes[2].attempts[1].outcome, AttemptOutcome::kCancelled);
   EXPECT_EQ(r.cancelled_attempts, 2u);
   EXPECT_GT(r.per_variant[1].wall_total, 0);
+}
+
+Instance memory_capped(std::uint64_t seed) {
+  Instance inst = make_instance(Family::kAmdahl, 4, 8, seed);
+  inst.set_memory_capacity(4.0);
+  inst.set_job_memory({10.0, 1.0, 6.0, 3.0});  // kmin = {3, 1, 2, 1}
+  return inst;
+}
+
+TEST(PortfolioSolver, MemoryBlindVariantsAreDroppedFromCappedInstances) {
+  // A mixed portfolio degrades gracefully: the memory-constrained middle
+  // instance races only the memory-aware lane, its neighbours race both.
+  std::vector<Instance> batch;
+  batch.push_back(make_instance(Family::kAmdahl, 4, 8, 31));
+  batch.push_back(memory_capped(32));
+  batch.push_back(make_instance(Family::kAmdahl, 4, 8, 33));
+  PortfolioConfig pc;
+  pc.variants = {"lt-2approx", "mem-greedy"};
+  pc.eps = 0.5;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  EXPECT_EQ(r.solved, 3u);
+  EXPECT_EQ(r.failed, 0u);
+  ASSERT_EQ(r.outcomes[1].attempts.size(), 1u);  // blind lane dropped, not failed
+  EXPECT_EQ(r.outcomes[1].attempts[0].algorithm, "mem-greedy");
+  EXPECT_EQ(r.outcomes[1].winner, "mem-greedy");
+  EXPECT_EQ(r.outcomes[0].attempts.size(), 2u);
+  EXPECT_EQ(r.outcomes[2].attempts.size(), 2u);
+
+  // The filter is part of the deterministic plan: digests match across
+  // thread counts.
+  PortfolioConfig serial = pc;
+  serial.threads = 1;
+  PortfolioConfig parallel = pc;
+  parallel.threads = 4;
+  EXPECT_EQ(PortfolioSolver().solve(batch, serial).digest(),
+            PortfolioSolver().solve(batch, parallel).digest());
+}
+
+TEST(PortfolioSolver, AllBlindPortfolioFailsClosedOnCappedInstance) {
+  std::vector<Instance> batch;
+  batch.push_back(memory_capped(41));
+  PortfolioConfig pc;
+  pc.variants = {"lt-2approx", "algorithm1"};
+  pc.eps = 0.5;
+  const PortfolioResult r = PortfolioSolver().solve(batch, pc);
+  EXPECT_EQ(r.solved, 0u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_FALSE(r.outcomes[0].ok);
+  ASSERT_EQ(r.outcomes[0].attempts.size(), 2u);
+  for (const VariantAttempt& a : r.outcomes[0].attempts) {
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("capability:"), std::string::npos) << a.error;
+    EXPECT_NE(a.error.find(a.algorithm), std::string::npos) << a.error;
+  }
 }
 
 TEST(PortfolioSolver, WinCountsAndLatencySplitAreConsistent) {

@@ -111,6 +111,41 @@ TEST(Validator, BackToBackOnSameInstantIsLegal) {
   EXPECT_TRUE(validate(s, inst).ok);
 }
 
+TEST(Validator, DetectsMemoryOvercommit) {
+  // (V6) Footprint 10 on capacity 4 needs ceil(10/4) = 3 machines; running
+  // it on 2 overcommits each machine's memory even though the processor
+  // capacity check passes.
+  Instance inst = small_instance();  // 4 jobs, m = 8
+  inst.set_memory_capacity(4.0);
+  inst.set_job_memory({10.0, 1.0, 1.0, 1.0});
+  Schedule tight;
+  double t = 0;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    tight.add({j, t, 2, inst.job(j).time(2)});
+    t += inst.job(j).time(2);
+  }
+  const ValidationResult r = validate(tight, inst);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors.front().find("memory overcommitted"), std::string::npos)
+      << r.errors.front();
+
+  // Widening job 0 to its minimum feasible allotment makes the same
+  // schedule shape pass: the footprint spreads across enough machines.
+  Schedule wide;
+  t = 0;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const procs_t k = j == 0 ? 3 : 2;
+    wide.add({j, t, k, inst.job(j).time(k)});
+    t += inst.job(j).time(k);
+  }
+  EXPECT_TRUE(validate(wide, inst).ok);
+
+  // A memory-free instance never trips (V6), whatever the allotments.
+  const Instance plain = small_instance();
+  EXPECT_TRUE(validate(valid_schedule(plain), plain).ok);
+}
+
 TEST(Validator, ThrowingVariant) {
   const Instance inst = small_instance();
   Schedule s;  // everything unscheduled
